@@ -1,0 +1,58 @@
+"""Throughput of the cycle-accurate simulator itself.
+
+Useful for users planning larger studies on top of the model: how long one
+simulated modular multiplication takes in wall-clock time at different
+operand widths, and how the trace and energy instrumentation affect it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ecc.curves_data import CURVE_SPECS
+from repro.modsram import ModSRAMAccelerator, ModSRAMConfig, PAPER_CONFIG
+
+
+@pytest.mark.parametrize("bitwidth", (16, 64, 128))
+def test_simulator_throughput_by_bitwidth(benchmark, bitwidth):
+    """Wall-clock cost of one simulated multiplication at several widths."""
+    rng = random.Random(bitwidth)
+    config = ModSRAMConfig(extend_for_full_range=False).with_bitwidth(bitwidth)
+    accelerator = ModSRAMAccelerator(config)
+    modulus = ((1 << bitwidth) - rng.randrange(3, 1 << 6)) | 1
+    a = rng.randrange(modulus) >> 1
+    b = rng.randrange(modulus)
+
+    result = benchmark.pedantic(
+        accelerator.multiply, args=(a, b, modulus), rounds=3, iterations=1
+    )
+    assert result.product == (a * b) % modulus
+    assert result.report.iteration_cycles == 3 * bitwidth - 1
+
+
+def test_simulator_throughput_256_bit(benchmark):
+    """The paper's operating point: one simulated 256-bit multiplication."""
+    modulus = CURVE_SPECS["bn254"].field_modulus
+    accelerator = ModSRAMAccelerator(PAPER_CONFIG)
+    rng = random.Random(256)
+    a, b = rng.randrange(modulus), rng.randrange(modulus)
+
+    result = benchmark.pedantic(
+        accelerator.multiply, args=(a, b, modulus), rounds=3, iterations=1
+    )
+    assert result.product == (a * b) % modulus
+
+
+def test_simulator_throughput_with_tracing(benchmark):
+    """The cost of recording a full cycle trace (Figure 3 walk-throughs)."""
+    config = ModSRAMConfig(extend_for_full_range=False).with_bitwidth(64)
+    accelerator = ModSRAMAccelerator(config, trace=True)
+    modulus = (1 << 64) - 59
+    a, b = 0x0123456789ABCDE, 0xFEDCBA987654321
+
+    result = benchmark.pedantic(
+        accelerator.multiply, args=(a, b, modulus), rounds=3, iterations=1
+    )
+    assert len(result.trace) == result.report.total_cycles

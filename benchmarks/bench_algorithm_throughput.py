@@ -1,0 +1,61 @@
+"""Software throughput of the modular-multiplication algorithm family.
+
+Not a paper exhibit, but the comparison a library user wants before picking
+a backend: how fast each algorithm implementation runs in Python for
+256-bit ECC operands, and how the iteration structure (the thing the paper
+optimises) shows up as work per call.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    BarrettMultiplier,
+    CsaInterleavedMultiplier,
+    InterleavedMultiplier,
+    MontgomeryMultiplier,
+    R4CSALutMultiplier,
+    Radix4InterleavedMultiplier,
+    SchoolbookMultiplier,
+)
+
+ALGORITHMS = (
+    SchoolbookMultiplier,
+    BarrettMultiplier,
+    MontgomeryMultiplier,
+    InterleavedMultiplier,
+    Radix4InterleavedMultiplier,
+    CsaInterleavedMultiplier,
+    R4CSALutMultiplier,
+)
+
+
+@pytest.mark.parametrize("algorithm_cls", ALGORITHMS, ids=lambda cls: cls.name)
+def test_algorithm_throughput_256_bit(benchmark, algorithm_cls, bn254_modulus):
+    """Throughput of one 256-bit modular multiplication per algorithm."""
+    rng = random.Random(17)
+    multiplier = algorithm_cls()
+    a = rng.randrange(bn254_modulus)
+    b = rng.randrange(bn254_modulus)
+    expected = (a * b) % bn254_modulus
+    result = benchmark(multiplier.multiply, a, b, bn254_modulus)
+    assert result == expected
+
+
+def test_r4csa_lut_reuse_amortisation(benchmark, bn254_modulus):
+    """Repeated multiplications with a shared multiplicand reuse the LUTs."""
+    rng = random.Random(23)
+    multiplier = R4CSALutMultiplier()
+    b = rng.randrange(bn254_modulus)
+    operands = [rng.randrange(bn254_modulus) for _ in range(16)]
+
+    def run_batch():
+        return [multiplier.multiply(a, b, bn254_modulus) for a in operands]
+
+    results = benchmark(run_batch)
+    assert results == [(a * b) % bn254_modulus for a in operands]
+    # One precomputation serves the whole batch (and all benchmark rounds).
+    assert multiplier.stats.precomputations == 1

@@ -1,0 +1,65 @@
+"""Application-level benchmarks: ECC point operations, ECDSA and the ZKP mapping.
+
+Beyond the paper's own exhibits, these measure the workloads the paper
+motivates ModSRAM with (digital signatures, ZKP kernels) running on the
+library, and the system-level projections built from the calibrated models.
+"""
+
+from __future__ import annotations
+
+from repro.ecc import Ecdsa, get_curve
+from repro.modsram import ModSRAMSystem, PAPER_CONFIG, PointOperationScheduler
+from repro.zkp import map_zkp_kernels, ntt_workload
+
+
+def test_point_operation_scheduling(benchmark):
+    """Scheduling a mixed addition + doubling onto the macro's rows."""
+    scheduler = PointOperationScheduler(PAPER_CONFIG)
+
+    def run():
+        return scheduler.schedule_mixed_addition(), scheduler.schedule_doubling()
+
+    addition, doubling = benchmark(run)
+    assert addition.multiplication_count == 11
+    assert doubling.multiplication_count == 8
+    assert addition.operand_rows_used <= PAPER_CONFIG.operand_capacity
+    assert addition.iteration_cycles == 11 * 767
+    print()
+    print("mixed addition :", addition.as_dict())
+    print("doubling       :", doubling.as_dict())
+
+
+def test_ecdsa_sign_verify(benchmark):
+    """A complete ECDSA sign + verify over secp256k1 (software backend)."""
+    ecdsa = Ecdsa(get_curve("secp256k1"))
+    keypair = ecdsa.generate_keypair(0xA11CE)
+    message = b"modsram benchmark message"
+
+    def run():
+        signature = ecdsa.sign(keypair.private_key, message)
+        return ecdsa.verify(keypair.public_key, message, signature)
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_zkp_kernel_mapping(benchmark):
+    """Mapping the Figure 7 kernels onto a 16-macro pool."""
+    mapping = benchmark(map_zkp_kernels, 2**15, 256, 16)
+    assert mapping.ntt.latency_ms < mapping.msm.latency_ms
+    assert mapping.msm.avoided_register_writes > 1e8
+    print()
+    for row in mapping.as_rows():
+        print("  ", row)
+
+
+def test_ntt_lut_reuse_projection(benchmark):
+    """Twiddle-aware LUT reuse shortens the NTT projection measurably."""
+    system = ModSRAMSystem(1, PAPER_CONFIG)
+
+    def run():
+        reuse = system.project(ntt_workload(2**12, 256))
+        return reuse
+
+    projection = benchmark(run)
+    refill_fraction = projection.lut_refill_cycles / projection.total_cycles_per_macro
+    assert refill_fraction < 0.01

@@ -1,0 +1,57 @@
+"""Figure 5: area breakdown of the ModSRAM macro.
+
+Regenerates the 0.053 mm² / 67-20-11-2 % breakdown and the 32 % overhead
+figure from the parametric area model, and times the model evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import reproduce_figure5
+from repro.modsram import AreaModel, ModSRAMConfig, PAPER_CONFIG
+
+
+def test_figure5_breakdown(benchmark):
+    """The paper's design point: total, breakdown and overhead."""
+    result = benchmark(reproduce_figure5)
+    assert abs(result.total_error_percent) < 5.0
+    assert abs(result.overhead_percent - result.paper_overhead_percent) < 4.0
+    percentages = result.breakdown.percentages
+    assert percentages["sram_array"] > 60
+    assert percentages["in_memory_circuit"] > percentages["near_memory_circuit"]
+    assert percentages["decoder"] < 5
+    print()
+    print(result.render())
+
+
+def test_figure5_area_scaling_with_array_height(benchmark):
+    """Ablation: how the breakdown shifts as the array grows (32..256 rows)."""
+    def sweep():
+        return {
+            rows: AreaModel(ModSRAMConfig(rows=rows)).breakdown()
+            for rows in (32, 64, 128, 256)
+        }
+
+    breakdowns = benchmark(sweep)
+    totals = [breakdowns[rows].total_mm2 for rows in (32, 64, 128, 256)]
+    assert totals == sorted(totals)
+    # The array share rises with height; the IMC share (fixed per column) falls.
+    assert (
+        breakdowns[256].percentages["sram_array"]
+        > breakdowns[32].percentages["sram_array"]
+    )
+    assert (
+        breakdowns[256].percentages["in_memory_circuit"]
+        < breakdowns[32].percentages["in_memory_circuit"]
+    )
+    print()
+    for rows in (32, 64, 128, 256):
+        breakdown = breakdowns[rows]
+        print(f"  {rows:3d} rows: total {breakdown.total_mm2:.4f} mm^2, "
+              f"array {breakdown.percentages['sram_array']:.1f}%")
+
+
+def test_figure5_overhead_against_plain_sram(benchmark):
+    """The 32% PIM overhead claim for the paper configuration."""
+    model = AreaModel(PAPER_CONFIG)
+    overhead = benchmark(model.overhead_percent)
+    assert 28.0 < overhead < 36.0

@@ -1,0 +1,47 @@
+"""Figure 6: data organisation / row utilisation across SRAM PIM designs.
+
+Regenerates the row requirements of MeNTT, BP-NTT and ModSRAM for one
+256-bit modular multiplication and ModSRAM's region breakdown (operands,
+intermediates, LUTs) inside its 64-row array.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import reproduce_figure6
+from repro.baselines import mentt_rows
+
+
+def test_figure6_row_requirements(benchmark):
+    """Rows needed at 256 bits: MeNTT 1282, BP-NTT 6, ModSRAM 18 (of 64)."""
+    result = benchmark(reproduce_figure6)
+    assert result.rows_by_design["mentt"] == 1282
+    assert result.rows_by_design["bpntt"] == 6
+    assert result.rows_by_design["modsram"] == 18
+    assert result.modsram_utilization.lut_rows == 13
+    assert result.modsram_utilization.intermediate_rows == 2
+    assert result.modsram_utilization.free_rows == 46
+    print()
+    print(result.render())
+
+
+def test_figure6_mentt_row_explosion_with_bitwidth(benchmark):
+    """The bit-serial layout's row count grows linearly and overflows a bank."""
+    def sweep():
+        return {bitwidth: mentt_rows(bitwidth) for bitwidth in (16, 32, 64, 128, 256)}
+
+    rows = benchmark(sweep)
+    assert rows[256] == 1282
+    assert rows[16] == 82
+    # Linear growth: doubling the bitwidth roughly doubles the rows.
+    assert rows[256] / rows[128] > 1.9
+    # A 64-row ModSRAM-style bank stops fitting the working set beyond ~12 bits.
+    assert all(value > 64 for value in rows.values())
+
+
+def test_figure6_modsram_supports_point_addition_operands(benchmark):
+    """§5.2: the array accommodates the operands of an EC point addition."""
+    result = benchmark(reproduce_figure6)
+    utilization = result.modsram_utilization
+    # A Jacobian point addition keeps ~12 coordinates/temporaries resident,
+    # which fits comfortably in the 49-row operand region.
+    assert utilization.operand_capacity >= 12 + 3

@@ -1,0 +1,65 @@
+"""Figure 7: operation counts of the ZKP components (NTT, MSM).
+
+Regenerates the operation counts at the paper's operating point (2^15
+elements, 256-bit operands) from the closed-form models, validates the NTT
+model against the instrumented implementation, and measures the instrumented
+kernels at small sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import measure_ntt_counts, reproduce_figure7
+from repro.ecc import get_curve, scalar_multiply
+from repro.ecc.curves_data import CURVE_SPECS
+from repro.zkp import NttContext, msm_pippenger, ntt_operation_counts
+
+
+def test_figure7_operating_point(benchmark):
+    """The paper's Figure 7 point: NTT vs MSM at 2^15 / 256-bit."""
+    result = benchmark(reproduce_figure7)
+    ntt = result.ntt
+    msm = result.msm
+    assert ntt.modular_multiplications == 245760
+    assert 1e7 < msm.modular_multiplications < 1e8
+    assert msm.register_writes > msm.memory_accesses > msm.modular_multiplications
+    assert msm.modular_multiplications > 100 * ntt.modular_multiplications
+    print()
+    print(result.render())
+
+
+def test_figure7_ntt_model_validation(benchmark):
+    """The closed-form NTT model equals the instrumented transform (N=512)."""
+    measured = benchmark.pedantic(measure_ntt_counts, args=(512,), rounds=1, iterations=1)
+    model = ntt_operation_counts(vector_size=512, bitwidth=254)
+    assert measured["modular_multiplication"] == model.modular_multiplications
+    assert measured["memory_access"] == model.memory_accesses
+    assert measured["register_writes"] == model.register_writes
+
+
+def test_figure7_instrumented_ntt_throughput(benchmark):
+    """Forward NTT of 1024 points over the BN254 scalar field (measured)."""
+    modulus = CURVE_SPECS["bn254"].scalar_field_modulus
+    context = NttContext(modulus, 1024)
+    rng = random.Random(3)
+    values = [rng.randrange(modulus) for _ in range(1024)]
+    result = benchmark.pedantic(context.forward, args=(values,), rounds=1, iterations=1)
+    assert len(result) == 1024
+
+
+def test_figure7_instrumented_msm(benchmark):
+    """Pippenger MSM of 32 secp256k1 points with 64-bit scalars (measured)."""
+    curve = get_curve("secp256k1")
+    rng = random.Random(9)
+    points = [
+        scalar_multiply(curve, rng.randrange(3, 1 << 62), curve.generator)
+        for _ in range(32)
+    ]
+    scalars = [rng.randrange(1, 1 << 64) for _ in range(32)]
+
+    def run():
+        return msm_pippenger(curve, scalars, points, window_bits=6)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert curve.contains(result)

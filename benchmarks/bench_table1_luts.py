@@ -1,0 +1,37 @@
+"""Tables 1a / 1b / 2: encoder truth table and precomputation LUT generation.
+
+Regenerates the paper's definitional tables and measures how long the LUT
+precomputation takes — the cost that ModSRAM amortises across every
+multiplication that shares a multiplicand or modulus.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import reproduce_tables
+from repro.core.luts import build_overflow_lut, build_radix4_lut
+
+
+def test_table1_regeneration(benchmark, bn254_modulus):
+    """Regenerate Tables 1a/1b/2 for a BN254-sized multiplicand."""
+    result = benchmark(reproduce_tables, 0x1234567890ABCDEF, bn254_modulus)
+    assert len(result.encoder_rows) == 8
+    assert len(result.radix4_rows) == 5
+    assert len(result.overflow_rows) == 8
+    assert result.encoder_rows[4] == (1, 0, 0, -2)
+    print()
+    print(result.render())
+
+
+def test_table1b_radix4_lut_precomputation(benchmark, bn254_modulus, operands):
+    """Time the radix-4 LUT precomputation (three modular computations)."""
+    _, b = operands
+    lut = benchmark(build_radix4_lut, b, bn254_modulus)
+    assert lut.computed_entry_count() == 3
+    assert lut[+2] == (2 * b) % bn254_modulus
+
+
+def test_table2_overflow_lut_precomputation(benchmark, bn254_modulus):
+    """Time the overflow LUT precomputation (Table 2, eight residues)."""
+    lut = benchmark(build_overflow_lut, bn254_modulus, 257, 8)
+    assert len(lut) == 8
+    assert lut[1] == (1 << 257) % bn254_modulus

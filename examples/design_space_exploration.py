@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the ModSRAM models.
+
+The paper evaluates one design point (64 x 256, 65 nm, 256-bit).  Because
+every model in this library is parametric, the same machinery answers
+"what if" questions a deployment would ask:
+
+* How do cycles, latency, area and energy scale with the operand bitwidth?
+* What does a different technology node buy?
+* How much sensing margin does the logic-SA scheme have, and when does
+  bitline noise start to corrupt XOR3/MAJ results?
+
+Run with ``python examples/design_space_exploration.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import render_table
+from repro.modsram import AreaModel, ModSRAMAccelerator, ModSRAMConfig
+from repro.sram import LogicSenseAmpModule, SenseAmpParameters
+
+
+def bitwidth_sweep() -> None:
+    rows = []
+    rng = random.Random(5)
+    for bitwidth in (64, 128, 192, 256):
+        config = ModSRAMConfig(extend_for_full_range=False).with_bitwidth(bitwidth)
+        accelerator = ModSRAMAccelerator(config)
+        modulus = ((1 << bitwidth) - rng.randrange(3, 1 << 8)) | 1
+        a = rng.randrange(modulus) >> 1
+        b = rng.randrange(modulus)
+        result = accelerator.multiply(a, b, modulus)
+        assert result.product == (a * b) % modulus
+        area = AreaModel(config).total_mm2()
+        energy = accelerator.energy_report().total_pj
+        rows.append(
+            (
+                bitwidth,
+                result.report.iteration_cycles,
+                round(result.report.latency_us, 2),
+                round(area, 4),
+                round(energy, 1),
+            )
+        )
+    print(render_table(
+        ("bitwidth", "cycles", "latency (us)", "area (mm^2)", "energy/op (pJ)"),
+        rows,
+        title="Bitwidth sweep (paper schedule, 64-row array)",
+    ))
+    print()
+
+
+def technology_sweep() -> None:
+    rows = []
+    for node in (65, 45, 28):
+        config = ModSRAMConfig(technology_nm=node)
+        scaled = ModSRAMConfig(
+            technology_nm=node, timing=config.timing.scaled_to(node)
+        )
+        area = AreaModel(scaled).total_mm2()
+        rows.append(
+            (
+                f"{node} nm",
+                round(scaled.frequency_mhz, 0),
+                round(scaled.expected_iteration_cycles / scaled.frequency_mhz, 2),
+                round(area, 4),
+            )
+        )
+    print(render_table(
+        ("node", "frequency (MHz)", "latency (us)", "area (mm^2)"),
+        rows,
+        title="Technology scaling (first-order constant-field rules)",
+    ))
+    print()
+
+
+def sensing_margin_study() -> None:
+    rows = []
+    for sigma_mv in (5, 15, 30, 45, 60):
+        module = LogicSenseAmpModule(columns=256, parameters=SenseAmpParameters())
+        probability = module.failure_probability(sigma_mv * 1e-3)
+        per_access = 1 - (1 - probability) ** (3 * 256)
+        rows.append(
+            (
+                sigma_mv,
+                f"{module.worst_case_margin_v() * 1e3:.0f} mV",
+                f"{probability:.2e}",
+                f"{per_access:.2e}",
+            )
+        )
+    print(render_table(
+        ("bitline noise sigma (mV)", "worst-case margin", "per-SA flip probability",
+         "per-access failure probability"),
+        rows,
+        title="Logic-SA sensing-margin study (three references per bitline)",
+    ))
+
+
+def main() -> None:
+    bitwidth_sweep()
+    technology_sweep()
+    sensing_margin_study()
+
+
+if __name__ == "__main__":
+    main()

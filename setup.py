@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+editable installs keep working on environments whose setuptools predates
+PEP 660 editable-wheel support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""ModSRAM reproduction library.
+
+A Python reproduction of "ModSRAM: Algorithm-Hardware Co-Design for Large
+Number Modular Multiplication in SRAM" (DAC 2024): the R4CSA-LUT algorithm
+family, a functional + cycle-level model of the ModSRAM 8T-SRAM PIM
+accelerator, the prior-work PIM baselines it is compared against, and the
+ECC / ZKP application substrates that motivate it.
+
+Quickstart
+----------
+>>> from repro import R4CSALutMultiplier
+>>> from repro.ecc import CURVES
+>>> curve = CURVES["bn254"]
+>>> mul = R4CSALutMultiplier()
+>>> mul.multiply(12345, 67890, curve.field_modulus) == (12345 * 67890) % curve.field_modulus
+True
+
+The cycle-accurate hardware model lives in :mod:`repro.modsram`; the
+experiment reproductions (one module per paper figure/table) live in
+:mod:`repro.analysis`.
+"""
+
+from repro.core import (
+    BarrettMultiplier,
+    CsaInterleavedMultiplier,
+    InterleavedMultiplier,
+    ModularMultiplier,
+    MontgomeryMultiplier,
+    R4CSALutContext,
+    R4CSALutMultiplier,
+    Radix4InterleavedMultiplier,
+    SchoolbookMultiplier,
+    available_multipliers,
+    create_multiplier,
+    get_multiplier,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BarrettMultiplier",
+    "CsaInterleavedMultiplier",
+    "InterleavedMultiplier",
+    "ModularMultiplier",
+    "MontgomeryMultiplier",
+    "R4CSALutContext",
+    "R4CSALutMultiplier",
+    "Radix4InterleavedMultiplier",
+    "ReproError",
+    "SchoolbookMultiplier",
+    "available_multipliers",
+    "create_multiplier",
+    "get_multiplier",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Experiment reproductions: one module per table/figure of the paper."""
+
+from repro.analysis.energy import (
+    EnergyResult,
+    measure_energy_per_multiplication,
+    reproduce_energy_analysis,
+)
+from repro.analysis.figure1 import Figure1Result, measure_modsram_cycles, reproduce_figure1
+from repro.analysis.figure5 import Figure5Result, reproduce_figure5
+from repro.analysis.figure6 import Figure6Result, reproduce_figure6
+from repro.analysis.figure7 import (
+    Figure7Result,
+    measure_msm_counts,
+    measure_ntt_counts,
+    reproduce_figure7,
+)
+from repro.analysis.headline import HeadlineClaim, HeadlineResult, reproduce_headline_claims
+from repro.analysis.report import build_report
+from repro.analysis.table1 import TableOneResult, reproduce_tables
+from repro.analysis.table3 import DESIGN_ORDER, Table3Result, reproduce_table3
+from repro.analysis.tables import format_value, render_table
+
+__all__ = [
+    "DESIGN_ORDER",
+    "EnergyResult",
+    "Figure1Result",
+    "Figure5Result",
+    "Figure6Result",
+    "Figure7Result",
+    "HeadlineClaim",
+    "HeadlineResult",
+    "Table3Result",
+    "TableOneResult",
+    "build_report",
+    "format_value",
+    "measure_energy_per_multiplication",
+    "measure_modsram_cycles",
+    "measure_msm_counts",
+    "measure_ntt_counts",
+    "render_table",
+    "reproduce_energy_analysis",
+    "reproduce_figure1",
+    "reproduce_figure5",
+    "reproduce_figure6",
+    "reproduce_figure7",
+    "reproduce_headline_claims",
+    "reproduce_table3",
+    "reproduce_tables",
+]

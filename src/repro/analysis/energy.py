@@ -1,0 +1,99 @@
+"""Energy analysis of one modular multiplication (beyond the paper).
+
+The paper reports cycles, frequency and area but no energy figures.  A PIM
+library is routinely asked "and how many picojoules per multiplication?", so
+this module runs the cycle-accurate model, feeds its access statistics into
+the calibrated 65 nm energy model and reports the per-multiplication energy
+with its mechanism breakdown (precharge, word lines, sensing, write-back,
+near-memory registers), plus how the figure scales with operand width.
+
+Because the paper publishes no reference value, EXPERIMENTS.md lists this as
+a beyond-the-paper analysis; the constants live in
+:class:`repro.sram.energy.EnergyModel` and are user-recalibratable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+from repro.ecc.curves_data import CURVE_SPECS
+from repro.modsram.accelerator import ModSRAMAccelerator
+from repro.modsram.config import ModSRAMConfig, PAPER_CONFIG
+from repro.sram.energy import EnergyBreakdown
+
+__all__ = ["EnergyResult", "measure_energy_per_multiplication", "reproduce_energy_analysis"]
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    """Energy of one multiplication at one design point."""
+
+    bitwidth: int
+    iteration_cycles: int
+    breakdown: EnergyBreakdown
+    energy_per_multiplication_pj: float
+    energy_per_bit_pj: float
+
+    def as_row(self) -> List[object]:
+        """One table row for the bitwidth sweep."""
+        return [
+            self.bitwidth,
+            self.iteration_cycles,
+            round(self.energy_per_multiplication_pj, 1),
+            round(self.energy_per_bit_pj, 2),
+            round(self.breakdown.sensing_pj, 1),
+            round(self.breakdown.write_pj, 1),
+        ]
+
+
+def measure_energy_per_multiplication(
+    bitwidth: int = 256,
+    config: Optional[ModSRAMConfig] = None,
+    seed: int = 1,
+) -> EnergyResult:
+    """Run one multiplication and return its modelled energy."""
+    if config is None:
+        config = ModSRAMConfig(extend_for_full_range=False).with_bitwidth(bitwidth)
+    accelerator = ModSRAMAccelerator(config)
+    rng = random.Random(seed)
+    if bitwidth == 256:
+        modulus = CURVE_SPECS["bn254"].field_modulus
+    else:
+        modulus = ((1 << bitwidth) - rng.randrange(3, 1 << max(2, bitwidth // 8))) | 1
+    a = rng.randrange(modulus) >> 1
+    b = rng.randrange(modulus)
+    result = accelerator.multiply(a, b, modulus)
+    assert result.product == (a * b) % modulus
+
+    breakdown = accelerator.energy_report()
+    per_multiplication = breakdown.total_pj
+    return EnergyResult(
+        bitwidth=bitwidth,
+        iteration_cycles=result.report.iteration_cycles,
+        breakdown=breakdown,
+        energy_per_multiplication_pj=per_multiplication,
+        energy_per_bit_pj=per_multiplication / bitwidth,
+    )
+
+
+def reproduce_energy_analysis(
+    bitwidths: Sequence[int] = (64, 128, 256),
+) -> Tuple[List[EnergyResult], str]:
+    """Energy sweep across operand widths; returns the results and a table."""
+    results = [measure_energy_per_multiplication(bitwidth) for bitwidth in bitwidths]
+    table = render_table(
+        (
+            "bitwidth",
+            "cycles",
+            "energy/mul (pJ)",
+            "energy/bit (pJ)",
+            "sensing (pJ)",
+            "write-back (pJ)",
+        ),
+        [result.as_row() for result in results],
+        title="Energy per modular multiplication (modelled, beyond the paper)",
+    )
+    return results, table

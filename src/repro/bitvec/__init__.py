@@ -1,0 +1,10 @@
+"""Fixed-width bit vectors and carry-save (redundant) values.
+
+These are the behavioural models of the registers and redundant accumulators
+that the ModSRAM hardware manipulates.
+"""
+
+from repro.bitvec.bitvector import BitVector, maj3, xor3
+from repro.bitvec.carry_save import CarrySaveValue, csa_step
+
+__all__ = ["BitVector", "CarrySaveValue", "csa_step", "maj3", "xor3"]

@@ -1,0 +1,234 @@
+"""Fixed-width bit vectors.
+
+The ModSRAM hardware operates on fixed-width registers (SRAM rows, near-memory
+flip-flops).  :class:`BitVector` is the behavioural model of such a register:
+an immutable, fixed-width, unsigned value that tracks bits shifted out of the
+register, because the R4CSA-LUT algorithm folds exactly those "overflow" bits
+back into the computation through the overflow LUT (Table 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import BitWidthError
+
+__all__ = ["BitVector", "xor3", "maj3"]
+
+
+def xor3(a: int, b: int, c: int) -> int:
+    """Bitwise three-input XOR — the *sum* output of a carry-save adder.
+
+    This is the logic function the logic-SA module produces when the RBL
+    discharge level corresponds to an odd number of stored ones among the
+    three activated rows.
+    """
+    return a ^ b ^ c
+
+
+def maj3(a: int, b: int, c: int) -> int:
+    """Bitwise three-input majority — the *carry* output of a carry-save adder.
+
+    The logic-SA module produces this when at least two of the three
+    activated cells on a read bitline store a one.
+    """
+    return (a & b) | (a & c) | (b & c)
+
+
+@dataclass(frozen=True)
+class BitVector:
+    """An immutable unsigned value constrained to ``width`` bits.
+
+    Parameters
+    ----------
+    value:
+        Non-negative integer.  Must fit in ``width`` bits.
+    width:
+        Register width in bits.  Must be positive.
+    """
+
+    value: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise BitWidthError(f"width must be positive, got {self.width}")
+        if self.value < 0:
+            raise BitWidthError(f"value must be non-negative, got {self.value}")
+        if self.value >> self.width:
+            raise BitWidthError(
+                f"value {self.value:#x} does not fit in {self.width} bits"
+            )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zeros(cls, width: int) -> "BitVector":
+        """An all-zero register of the requested width."""
+        return cls(0, width)
+
+    @classmethod
+    def ones(cls, width: int) -> "BitVector":
+        """An all-one register of the requested width."""
+        return cls((1 << width) - 1, width)
+
+    @classmethod
+    def from_bits(cls, bits: List[int], width: int | None = None) -> "BitVector":
+        """Build from a list of bits, least-significant bit first."""
+        if width is None:
+            width = max(len(bits), 1)
+        if len(bits) > width:
+            raise BitWidthError(f"{len(bits)} bits do not fit in width {width}")
+        value = 0
+        for index, bit in enumerate(bits):
+            if bit not in (0, 1):
+                raise BitWidthError(f"bit {index} is {bit!r}, expected 0 or 1")
+            value |= bit << index
+        return cls(value, width)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def mask(self) -> int:
+        """The all-ones mask for this register width."""
+        return (1 << self.width) - 1
+
+    def bit(self, index: int) -> int:
+        """Return bit ``index`` (0 = least significant)."""
+        if not 0 <= index < self.width:
+            raise BitWidthError(
+                f"bit index {index} out of range for width {self.width}"
+            )
+        return (self.value >> index) & 1
+
+    def bits(self) -> List[int]:
+        """All bits as a list, least-significant first."""
+        return [(self.value >> i) & 1 for i in range(self.width)]
+
+    def msb(self, count: int = 1) -> int:
+        """Return the ``count`` most significant bits as an integer."""
+        if not 0 < count <= self.width:
+            raise BitWidthError(
+                f"cannot take {count} MSBs of a {self.width}-bit vector"
+            )
+        return self.value >> (self.width - count)
+
+    def lsb(self, count: int = 1) -> int:
+        """Return the ``count`` least significant bits as an integer."""
+        if not 0 < count <= self.width:
+            raise BitWidthError(
+                f"cannot take {count} LSBs of a {self.width}-bit vector"
+            )
+        return self.value & ((1 << count) - 1)
+
+    def slice(self, low: int, high: int) -> int:
+        """Return bits ``[low, high)`` as an integer (verilog ``[high-1:low]``)."""
+        if not 0 <= low < high <= self.width:
+            raise BitWidthError(
+                f"slice [{low}, {high}) out of range for width {self.width}"
+            )
+        return (self.value >> low) & ((1 << (high - low)) - 1)
+
+    def popcount(self) -> int:
+        """Number of set bits."""
+        return bin(self.value).count("1")
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.bits())
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    # ------------------------------------------------------------------ #
+    # register operations
+    # ------------------------------------------------------------------ #
+    def resized(self, width: int) -> "BitVector":
+        """Return a copy with a new width (truncating or zero-extending)."""
+        if width <= 0:
+            raise BitWidthError(f"width must be positive, got {width}")
+        return BitVector(self.value & ((1 << width) - 1), width)
+
+    def shift_left(self, amount: int) -> Tuple["BitVector", int]:
+        """Shift left by ``amount`` and return ``(shifted, overflow)``.
+
+        ``overflow`` is the integer formed by the ``amount`` bits that were
+        shifted out of the top of the register.  This mirrors the hardware,
+        where the shifted-out bits are latched into small near-memory
+        flip-flops and later folded back via the overflow LUT.
+        """
+        if amount < 0:
+            raise BitWidthError(f"shift amount must be non-negative, got {amount}")
+        full = self.value << amount
+        overflow = full >> self.width
+        return BitVector(full & self.mask, self.width), overflow
+
+    def shift_right(self, amount: int) -> Tuple["BitVector", int]:
+        """Shift right by ``amount`` and return ``(shifted, dropped_bits)``."""
+        if amount < 0:
+            raise BitWidthError(f"shift amount must be non-negative, got {amount}")
+        dropped = self.value & ((1 << amount) - 1) if amount else 0
+        return BitVector(self.value >> amount, self.width), dropped
+
+    def _coerce(self, other: "BitVector | int") -> int:
+        if isinstance(other, BitVector):
+            if other.width != self.width:
+                raise BitWidthError(
+                    f"width mismatch: {self.width} vs {other.width}"
+                )
+            return other.value
+        return int(other) & self.mask
+
+    def __xor__(self, other: "BitVector | int") -> "BitVector":
+        return BitVector(self.value ^ self._coerce(other), self.width)
+
+    def __and__(self, other: "BitVector | int") -> "BitVector":
+        return BitVector(self.value & self._coerce(other), self.width)
+
+    def __or__(self, other: "BitVector | int") -> "BitVector":
+        return BitVector(self.value | self._coerce(other), self.width)
+
+    def __invert__(self) -> "BitVector":
+        return BitVector(self.value ^ self.mask, self.width)
+
+    def __add__(self, other: "BitVector | int") -> "BitVector":
+        """Modular (wrapping) addition within the register width."""
+        return BitVector((self.value + self._coerce(other)) & self.mask, self.width)
+
+    def add_with_carry(self, other: "BitVector | int") -> Tuple["BitVector", int]:
+        """Full addition returning ``(sum_in_register, carry_out)``."""
+        total = self.value + self._coerce(other)
+        return BitVector(total & self.mask, self.width), total >> self.width
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def to_binary(self, group: int = 0) -> str:
+        """Render as a binary string, optionally grouped every ``group`` bits."""
+        raw = format(self.value, f"0{self.width}b")
+        if group <= 0:
+            return raw
+        chunks = []
+        position = len(raw)
+        while position > 0:
+            start = max(position - group, 0)
+            chunks.append(raw[start:position])
+            position = start
+        return "_".join(reversed(chunks))
+
+    def __str__(self) -> str:
+        return f"{self.width}'b{self.to_binary()}"
+
+    def __repr__(self) -> str:
+        return f"BitVector(value={self.value:#x}, width={self.width})"

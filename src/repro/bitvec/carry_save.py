@@ -1,0 +1,136 @@
+"""Redundant (carry-save) number representation.
+
+R4CSA-LUT never resolves carries during its main loop: the accumulator is
+kept as a *sum* word and a *carry* word whose ordinary sum is the logical
+value.  :class:`CarrySaveValue` models that redundant pair together with the
+small overflow side-channel that the ModSRAM near-memory circuit keeps in
+flip-flops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.bitvec.bitvector import BitVector, maj3, xor3
+from repro.errors import BitWidthError
+
+__all__ = ["CarrySaveValue", "csa_step"]
+
+
+def csa_step(addend: int, sum_word: int, carry_word: int) -> Tuple[int, int]:
+    """One unconstrained carry-save addition step.
+
+    Returns ``(new_sum, new_carry)`` with ``new_sum + new_carry ==
+    addend + sum_word + carry_word`` and no width truncation.  The carry word
+    is already shifted left by one (the weight of a generated carry).
+    """
+    new_sum = xor3(addend, sum_word, carry_word)
+    new_carry = maj3(addend, sum_word, carry_word) << 1
+    return new_sum, new_carry
+
+
+@dataclass(frozen=True)
+class CarrySaveValue:
+    """A value held as ``sum + carry`` in two fixed-width registers.
+
+    The pair of registers has the same width (``width`` bits); any bits that
+    escape the registers during shifts or carry-save additions are returned
+    to the caller so they can be folded back in via the overflow LUT, exactly
+    as the ModSRAM near-memory circuit does.
+    """
+
+    sum_word: BitVector
+    carry_word: BitVector
+
+    def __post_init__(self) -> None:
+        if self.sum_word.width != self.carry_word.width:
+            raise BitWidthError(
+                "sum and carry registers must share a width, got "
+                f"{self.sum_word.width} and {self.carry_word.width}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zero(cls, width: int) -> "CarrySaveValue":
+        """A carry-save zero of the requested register width."""
+        return cls(BitVector.zeros(width), BitVector.zeros(width))
+
+    @classmethod
+    def from_int(cls, value: int, width: int) -> "CarrySaveValue":
+        """Represent ``value`` with the whole value in the sum word."""
+        return cls(BitVector(value, width), BitVector.zeros(width))
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> int:
+        """Register width shared by the sum and carry words."""
+        return self.sum_word.width
+
+    def resolve(self) -> int:
+        """Collapse the redundant representation into an ordinary integer.
+
+        In hardware this is the final full addition performed near-memory
+        after the last iteration.
+        """
+        return self.sum_word.value + self.carry_word.value
+
+    def __int__(self) -> int:
+        return self.resolve()
+
+    # ------------------------------------------------------------------ #
+    # the two operations the main loop needs
+    # ------------------------------------------------------------------ #
+    def shifted_left(self, amount: int) -> Tuple["CarrySaveValue", int, int]:
+        """Shift both words left, returning the two overflow fields.
+
+        Returns ``(shifted, sum_overflow, carry_overflow)`` where the overflow
+        fields are the ``amount`` bits shifted out of each register.  The
+        logical value satisfies::
+
+            4 * old == shifted.resolve()
+                       + (sum_overflow + carry_overflow) * 2**width
+        """
+        new_sum, sum_overflow = self.sum_word.shift_left(amount)
+        new_carry, carry_overflow = self.carry_word.shift_left(amount)
+        return CarrySaveValue(new_sum, new_carry), sum_overflow, carry_overflow
+
+    def add(self, addend: int) -> Tuple["CarrySaveValue", int]:
+        """Carry-save add an ``addend`` (an ordinary integer < 2**width).
+
+        Returns ``(new_value, carry_overflow)`` where ``carry_overflow`` is
+        the single bit (or bits) of the shifted majority word that escaped
+        the register::
+
+            old.resolve() + addend == new_value.resolve()
+                                      + carry_overflow * 2**width
+        """
+        if addend < 0:
+            raise BitWidthError(f"addend must be non-negative, got {addend}")
+        if addend >> self.width:
+            raise BitWidthError(
+                f"addend {addend:#x} does not fit in {self.width} bits"
+            )
+        new_sum = xor3(addend, self.sum_word.value, self.carry_word.value)
+        shifted_major = maj3(addend, self.sum_word.value, self.carry_word.value) << 1
+        overflow = shifted_major >> self.width
+        new_carry = shifted_major & self.sum_word.mask
+        return (
+            CarrySaveValue(
+                BitVector(new_sum, self.width), BitVector(new_carry, self.width)
+            ),
+            overflow,
+        )
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:
+        return (
+            f"CarrySave(sum={self.sum_word.to_binary()}, "
+            f"carry={self.carry_word.to_binary()})"
+        )

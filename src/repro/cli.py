@@ -1,0 +1,161 @@
+"""Command-line interface for the ModSRAM reproduction.
+
+Four subcommands cover the things a user wants without writing code::
+
+    python -m repro.cli report   [--quick]          # every table and figure
+    python -m repro.cli multiply A B [--modulus P] [--backend NAME] [--curve NAME]
+    python -m repro.cli cycles   [--bitwidth N]     # cycle model + comparison
+    python -m repro.cli area     [--rows R] [--bitwidth N] [--technology NM]
+    python -m repro.cli verify   [--bitwidth N] [--cases K]   # equivalence check
+
+Values may be given in decimal or ``0x``-prefixed hexadecimal.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis.report import build_report
+from repro.analysis.tables import render_table
+from repro.core import available_multipliers, create_multiplier
+from repro.core.complexity import COMPLEXITY_MODELS
+from repro.ecc.curves_data import CURVE_SPECS
+from repro.modsram.area import AreaModel
+from repro.modsram.config import ModSRAMConfig
+from repro.modsram.verification import EquivalenceChecker
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ModSRAM (DAC 2024) reproduction command-line interface.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    report = subparsers.add_parser("report", help="reproduce every table and figure")
+    report.add_argument("--quick", action="store_true", help="skip cycle-accurate runs")
+
+    multiply = subparsers.add_parser("multiply", help="one modular multiplication")
+    multiply.add_argument("a", type=_parse_int, help="multiplier (decimal or 0x...)")
+    multiply.add_argument("b", type=_parse_int, help="multiplicand")
+    multiply.add_argument("--modulus", type=_parse_int, default=None, help="modulus p")
+    multiply.add_argument(
+        "--curve",
+        choices=sorted(CURVE_SPECS),
+        default="bn254",
+        help="use this curve's base-field prime when --modulus is not given",
+    )
+    multiply.add_argument(
+        "--backend",
+        default="r4csa-lut",
+        help="multiplier backend (see 'repro cycles' for the list)",
+    )
+
+    cycles = subparsers.add_parser("cycles", help="cycle models at a bitwidth")
+    cycles.add_argument("--bitwidth", type=int, default=256)
+
+    area = subparsers.add_parser("area", help="area model for a configuration")
+    area.add_argument("--rows", type=int, default=64)
+    area.add_argument("--bitwidth", type=int, default=256)
+    area.add_argument("--technology", type=int, default=65)
+
+    verify = subparsers.add_parser(
+        "verify", help="equivalence-check the accelerator against the oracle"
+    )
+    verify.add_argument("--bitwidth", type=int, default=32)
+    verify.add_argument("--cases", type=int, default=8)
+    return parser
+
+
+def _command_report(arguments: argparse.Namespace) -> int:
+    print(build_report(quick=arguments.quick))
+    return 0
+
+
+def _command_multiply(arguments: argparse.Namespace) -> int:
+    modulus = arguments.modulus
+    if modulus is None:
+        modulus = CURVE_SPECS[arguments.curve].field_modulus
+    if arguments.backend not in available_multipliers():
+        print(f"unknown backend {arguments.backend!r}; available: "
+              f"{', '.join(available_multipliers())}")
+        return 2
+    multiplier = create_multiplier(arguments.backend)
+    product = multiplier.multiply(arguments.a % modulus, arguments.b % modulus, modulus)
+    print(f"backend : {arguments.backend}")
+    print(f"modulus : {modulus:#x}")
+    print(f"product : {product:#x}")
+    expected_cycles = multiplier.cycles(modulus.bit_length())
+    if expected_cycles is not None:
+        print(f"cycle model at {modulus.bit_length()} bits: {expected_cycles}")
+    return 0
+
+
+def _command_cycles(arguments: argparse.Namespace) -> int:
+    bitwidth = arguments.bitwidth
+    rows = []
+    for key, model in sorted(COMPLEXITY_MODELS.items()):
+        rows.append((model.label, model.order, model.cycles(bitwidth)))
+    print(render_table(
+        ("algorithm / design", "order", f"cycles @ {bitwidth}b"),
+        rows,
+        title="Cycle models",
+    ))
+    print("\nregistered multiplier backends: " + ", ".join(available_multipliers()))
+    return 0
+
+
+def _command_area(arguments: argparse.Namespace) -> int:
+    config = ModSRAMConfig(
+        rows=arguments.rows,
+        bitwidth=arguments.bitwidth,
+        columns=max(arguments.bitwidth, 4),
+        technology_nm=arguments.technology,
+    )
+    model = AreaModel(config)
+    breakdown = model.breakdown()
+    rows = [
+        (name.replace("_mm2", "").replace("_", " "), round(value, 5))
+        for name, value in breakdown.as_dict().items()
+    ]
+    print(render_table(("component", "area (mm^2)"), rows,
+                       title=f"ModSRAM area model ({arguments.rows}x{arguments.bitwidth}, "
+                             f"{arguments.technology} nm)"))
+    print(f"overhead over plain SRAM: {model.overhead_percent():.1f}%")
+    return 0
+
+
+def _command_verify(arguments: argparse.Namespace) -> int:
+    bitwidth = arguments.bitwidth
+    config = ModSRAMConfig().with_bitwidth(bitwidth)
+    checker = EquivalenceChecker(config)
+    modulus = ((1 << bitwidth) - 5) | 1
+    report = checker.run(modulus, random_cases=arguments.cases)
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handlers = {
+        "report": _command_report,
+        "multiply": _command_multiply,
+        "cycles": _command_cycles,
+        "area": _command_area,
+        "verify": _command_verify,
+    }
+    return handlers[arguments.command](arguments)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""Barrett modular multiplication.
+
+Barrett reduction replaces the division in ``a * b mod p`` by a
+multiplication with a precomputed reciprocal estimate.  The paper cites it
+(with Montgomery) as the standard "reduce after multiplying" approach whose
+``2n``/``3n``-bit intermediates make it expensive to hold inside a PIM
+array; X-Poly and one CryptoPIM variant in Table 3 use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.algorithms.base import ModularMultiplier, register_multiplier
+from repro.errors import ModulusError, OperandRangeError
+
+__all__ = ["BarrettContext", "BarrettMultiplier"]
+
+
+@dataclass(frozen=True)
+class BarrettContext:
+    """Precomputed reciprocal estimate ``mu = floor(4**k / p)``."""
+
+    modulus: int
+    shift: int  # k = bit length of p
+    mu: int
+
+    @classmethod
+    def create(cls, modulus: int) -> "BarrettContext":
+        if modulus <= 2:
+            raise ModulusError(f"modulus must be greater than 2, got {modulus}")
+        shift = modulus.bit_length()
+        mu = (1 << (2 * shift)) // modulus
+        return cls(modulus=modulus, shift=shift, mu=mu)
+
+    def reduce(self, value: int) -> int:
+        """Reduce ``value`` (< p**2) modulo ``p`` using the Barrett estimate."""
+        if not 0 <= value < self.modulus * self.modulus:
+            raise OperandRangeError(
+                f"Barrett reduction input must be below p**2, got {value}"
+            )
+        quotient_estimate = (value * self.mu) >> (2 * self.shift)
+        remainder = value - quotient_estimate * self.modulus
+        # The estimate is off by at most two.
+        while remainder >= self.modulus:
+            remainder -= self.modulus
+        return remainder
+
+
+@register_multiplier
+class BarrettMultiplier(ModularMultiplier):
+    """Full product followed by Barrett reduction."""
+
+    name = "barrett"
+    description = "Full product followed by Barrett reduction."
+    direct_form = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._context: Optional[BarrettContext] = None
+
+    def context_for(self, modulus: int) -> BarrettContext:
+        """Return (and cache) the Barrett context for ``modulus``."""
+        context = self._context
+        if context is None or context.modulus != modulus:
+            context = BarrettContext.create(modulus)
+            self._context = context
+            self.stats.precomputations += 1
+        return context
+
+    def _multiply(self, a: int, b: int, modulus: int) -> int:
+        context = self.context_for(modulus)
+        product = a * b
+        self.stats.full_additions += 1
+        self.stats.iterations += 1
+        result = context.reduce(product)
+        self.stats.subtractions += 1
+        return result
+
+    def cycles(self, bitwidth: int) -> Optional[int]:
+        """Word-serial cycle model (three n-bit multiplications, 32-bit words)."""
+        words = max((bitwidth + 31) // 32, 1)
+        return 3 * words * words + 2 * words

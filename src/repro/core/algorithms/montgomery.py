@@ -1,0 +1,147 @@
+"""Montgomery modular multiplication.
+
+Montgomery reduction is one of the two "reduce after multiplying" baselines
+the paper argues against for PIM: it avoids trial division but requires the
+operands to be moved into and out of Montgomery form (a real modular
+operation each way) and manipulates ``2n``-bit intermediates.  BP-NTT — one
+of the Table 3 baselines — computes its modular products this way, which is
+why the transformation cost matters in the comparison.
+
+Two interfaces are provided:
+
+* :class:`MontgomeryMultiplier` — drop-in :class:`ModularMultiplier` that
+  internally converts to and from Montgomery form for every call (counting
+  the conversions), so it returns results in direct form like the others.
+* :class:`MontgomeryContext` — the domain object (``R``, ``R^2 mod p``,
+  ``p'``) plus ``REDC`` for code that wants to stay in Montgomery form
+  across many operations (the way BP-NTT assumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.algorithms.base import ModularMultiplier, register_multiplier
+from repro.errors import ModulusError, OperandRangeError
+
+__all__ = ["MontgomeryContext", "MontgomeryMultiplier"]
+
+
+@dataclass(frozen=True)
+class MontgomeryContext:
+    """Precomputed constants for Montgomery arithmetic modulo an odd ``p``."""
+
+    modulus: int
+    bitwidth: int
+    radix: int            # R = 2**bitwidth
+    radix_squared: int    # R^2 mod p, used to enter Montgomery form
+    modulus_inverse: int  # p' = -p^{-1} mod R
+
+    @classmethod
+    def create(cls, modulus: int, bitwidth: Optional[int] = None) -> "MontgomeryContext":
+        """Build a context; the modulus must be odd (required by REDC)."""
+        if modulus <= 2:
+            raise ModulusError(f"modulus must be greater than 2, got {modulus}")
+        if modulus % 2 == 0:
+            raise ModulusError(
+                f"Montgomery reduction requires an odd modulus, got {modulus}"
+            )
+        if bitwidth is None:
+            bitwidth = modulus.bit_length()
+        radix = 1 << bitwidth
+        if radix <= modulus:
+            raise ModulusError(
+                f"Montgomery radix 2**{bitwidth} must exceed the modulus"
+            )
+        inverse = pow(modulus, -1, radix)
+        return cls(
+            modulus=modulus,
+            bitwidth=bitwidth,
+            radix=radix,
+            radix_squared=(radix * radix) % modulus,
+            modulus_inverse=(-inverse) % radix,
+        )
+
+    # ------------------------------------------------------------------ #
+    # core operations
+    # ------------------------------------------------------------------ #
+    def reduce(self, value: int) -> int:
+        """Montgomery reduction: return ``value * R^{-1} mod p``.
+
+        ``value`` must be less than ``p * R`` (true for any product of two
+        reduced Montgomery-form operands).
+        """
+        if not 0 <= value < self.modulus * self.radix:
+            raise OperandRangeError(
+                "REDC input must satisfy 0 <= value < p * R, got "
+                f"{value} with p={self.modulus}, R={self.radix}"
+            )
+        mask = self.radix - 1
+        factor = ((value & mask) * self.modulus_inverse) & mask
+        reduced = (value + factor * self.modulus) >> self.bitwidth
+        if reduced >= self.modulus:
+            reduced -= self.modulus
+        return reduced
+
+    def to_montgomery(self, value: int) -> int:
+        """Convert ``value`` into Montgomery form (``value * R mod p``)."""
+        return self.reduce(value * self.radix_squared)
+
+    def from_montgomery(self, value: int) -> int:
+        """Convert a Montgomery-form value back to direct form."""
+        return self.reduce(value)
+
+    def multiply(self, a_mont: int, b_mont: int) -> int:
+        """Multiply two Montgomery-form operands, result in Montgomery form."""
+        return self.reduce(a_mont * b_mont)
+
+
+@register_multiplier
+class MontgomeryMultiplier(ModularMultiplier):
+    """Montgomery multiplication presented through the direct-form interface."""
+
+    name = "montgomery"
+    description = (
+        "Montgomery multiplication (REDC); operands converted into and out "
+        "of Montgomery form on every call."
+    )
+    direct_form = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._context: Optional[MontgomeryContext] = None
+
+    def context_for(self, modulus: int) -> MontgomeryContext:
+        """Return (and cache) the Montgomery context for ``modulus``."""
+        context = self._context
+        if context is None or context.modulus != modulus:
+            context = MontgomeryContext.create(modulus)
+            self._context = context
+            self.stats.precomputations += 1
+        return context
+
+    def _multiply(self, a: int, b: int, modulus: int) -> int:
+        context = self.context_for(modulus)
+        # Entering Montgomery form costs one REDC per operand ...
+        a_mont = context.to_montgomery(a)
+        b_mont = context.to_montgomery(b)
+        self.stats.full_additions += 2
+        # ... the product costs one ...
+        product = context.multiply(a_mont, b_mont)
+        self.stats.full_additions += 1
+        # ... and leaving Montgomery form one more.
+        result = context.from_montgomery(product)
+        self.stats.full_additions += 1
+        self.stats.iterations += 1
+        return result
+
+    def cycles(self, bitwidth: int) -> Optional[int]:
+        """Word-serial CIOS-style cycle model.
+
+        One pass over the operand words per outer word, with a word size of
+        32 bits; included so Montgomery appears in the Figure 1 style
+        complexity sweeps with a sensible hardware-ish scaling law.
+        """
+        words = max((bitwidth + 31) // 32, 1)
+        return 2 * words * words + 4 * words

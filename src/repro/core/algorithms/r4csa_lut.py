@@ -1,0 +1,244 @@
+"""R4CSA-LUT: the paper's proposed algorithm (Algorithm 3).
+
+Radix-4 Carry-Save-Addition interleaved modular multiplication with look-up
+tables.  Compared with Algorithm 2 it keeps the accumulator in redundant
+(sum, carry) form so the per-iteration additions become carry-*free* bitwise
+XOR3/MAJ operations — exactly the operations the ModSRAM logic-SA module
+computes inside the SRAM array — and it replaces the reduction of the
+quadrupled accumulator with a second table look-up (Table 2): the bits that
+overflow the ``n+1``-bit registers during the shift are folded back in by
+adding the precomputed residue ``overflow * 2**(n+1) mod p``.
+
+Each iteration therefore consists of two carry-save additions (one against
+LUT-radix4, one against LUT-overflow) and two shifts; no carry ever
+propagates until the single full addition after the final iteration.
+
+Implementation notes (see DESIGN.md §1 for the full discussion):
+
+* The paper's pseudocode overwrites ``sum`` before computing ``carry``; the
+  hardware dataflow of Figure 3 produces XOR3 and MAJ from the same three
+  word lines simultaneously, i.e. a standard carry-save adder, which is what
+  this module implements.
+* The carry word is one bit wider than ``n+1`` for one cycle (the MAJ output
+  is shifted left); the escaped bit is captured and folded into the *next*
+  iteration's overflow index with weight 4 (it is two shift positions older
+  by the time it is consumed).  The overflow LUT is generated with 16
+  entries so every reachable index is covered; its first eight rows are
+  exactly the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.bitvec import CarrySaveValue
+from repro.core.algorithms.base import ModularMultiplier, register_multiplier
+from repro.core.booth import booth_digits_radix4
+from repro.core.luts import OverflowLut, Radix4Lut, build_overflow_lut, build_radix4_lut
+from repro.errors import OperandRangeError
+
+__all__ = [
+    "R4CSALutMultiplier",
+    "R4CSALutContext",
+    "IterationSnapshot",
+    "OVERFLOW_LUT_ENTRIES",
+]
+
+#: Number of overflow-LUT entries generated (the paper's Table 2 lists 8;
+#: see the module docstring for why the reproduction provisions 16).
+OVERFLOW_LUT_ENTRIES = 16
+
+
+@dataclass(frozen=True)
+class R4CSALutContext:
+    """Precomputed state reusable across multiplications.
+
+    LUT-radix4 depends on ``(B, p)`` and LUT-overflow on ``p`` alone, so as
+    long as the multiplicand and modulus are unchanged the tables — which
+    live in SRAM word lines in ModSRAM — are reused.  This mirrors the
+    paper's data-reuse argument.
+    """
+
+    multiplicand: int
+    modulus: int
+    bitwidth: int
+    register_width: int
+    radix4_lut: Radix4Lut
+    overflow_lut: OverflowLut
+
+    @classmethod
+    def create(
+        cls, multiplicand: int, modulus: int, bitwidth: Optional[int] = None
+    ) -> "R4CSALutContext":
+        """Precompute both LUTs for a multiplicand/modulus pair."""
+        if bitwidth is None:
+            bitwidth = max(modulus.bit_length(), 2)
+        register_width = bitwidth + 1
+        return cls(
+            multiplicand=multiplicand,
+            modulus=modulus,
+            bitwidth=bitwidth,
+            register_width=register_width,
+            radix4_lut=build_radix4_lut(multiplicand, modulus),
+            overflow_lut=build_overflow_lut(
+                modulus, register_width, entry_count=OVERFLOW_LUT_ENTRIES
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class IterationSnapshot:
+    """State of the redundant accumulator after one main-loop iteration.
+
+    Captured for dataflow illustrations (Figure 3 of the paper) and for the
+    invariant checks in the test suite.
+    """
+
+    iteration: int
+    digit: int
+    overflow_index: int
+    sum_word: int
+    carry_word: int
+    pending_overflow: int
+
+    def resolved(self) -> int:
+        """The logical accumulator value, ignoring the pending overflow bit."""
+        return self.sum_word + self.carry_word
+
+
+@register_multiplier
+class R4CSALutMultiplier(ModularMultiplier):
+    """Algorithm 3: radix-4, carry-save, LUT-based interleaved multiplication."""
+
+    name = "r4csa-lut"
+    description = (
+        "Radix-4 carry-save interleaved multiplication with precomputed "
+        "radix-4 and overflow LUTs (Algorithm 3, the paper's contribution)."
+    )
+    direct_form = True
+
+    def __init__(self, full_range: bool = True, record_trace: bool = False) -> None:
+        super().__init__()
+        self.full_range = full_range
+        self.record_trace = record_trace
+        self.last_trace: List[IterationSnapshot] = []
+        self._context: Optional[R4CSALutContext] = None
+
+    # ------------------------------------------------------------------ #
+    # precomputation / context handling
+    # ------------------------------------------------------------------ #
+    def context_for(self, multiplicand: int, modulus: int) -> R4CSALutContext:
+        """Return (and cache) the LUT context for ``(B, p)``.
+
+        The cache has depth one, mirroring the single set of LUT word lines
+        in the ModSRAM array.
+        """
+        context = self._context
+        if (
+            context is None
+            or context.multiplicand != multiplicand
+            or context.modulus != modulus
+        ):
+            context = R4CSALutContext.create(multiplicand, modulus)
+            self._context = context
+            self.stats.precomputations += 1
+        return context
+
+    # ------------------------------------------------------------------ #
+    # main algorithm
+    # ------------------------------------------------------------------ #
+    def _multiply(self, a: int, b: int, modulus: int) -> int:
+        context = self.context_for(b, modulus)
+        sum_word, carry_word, pending = self._main_loop(a, context)
+        return self._finalize(sum_word, carry_word, pending, context)
+
+    def _main_loop(
+        self, multiplier: int, context: R4CSALutContext
+    ) -> Tuple[int, int, int]:
+        """Run the carry-free main loop, returning the redundant result.
+
+        Returns ``(sum_word, carry_word, pending_overflow)`` such that
+        ``sum_word + carry_word + pending_overflow * 2**register_width`` is
+        congruent to ``A * B`` modulo ``p``.
+        """
+        width = context.register_width
+        if self.record_trace:
+            self.last_trace = []
+
+        digits = booth_digits_radix4(
+            multiplier, context.bitwidth, full_range=self.full_range
+        )
+        accumulator = CarrySaveValue.zero(width)
+        pending = 0
+
+        for index, digit in enumerate(digits):
+            self.stats.iterations += 1
+
+            # -- shift left by two (multiply the accumulator by four) ----- #
+            accumulator, sum_overflow, carry_overflow = accumulator.shifted_left(2)
+            self.stats.shifts += 2
+
+            # -- first carry-save addition: the Booth-digit addend -------- #
+            addend = context.radix4_lut[digit]
+            self.stats.lut_lookups += 1
+            accumulator, escaped = accumulator.add(addend)
+            self.stats.carry_save_additions += 1
+
+            # -- fold every escaped bit back in through LUT-overflow ------ #
+            # The pending bit escaped *after* the previous iteration's second
+            # CSA; the two intervening shift positions give it weight 4.
+            overflow_index = (
+                sum_overflow + carry_overflow + escaped + 4 * pending
+            )
+            addend = context.overflow_lut[overflow_index]
+            self.stats.lut_lookups += 1
+            accumulator, pending = accumulator.add(addend)
+            self.stats.carry_save_additions += 1
+
+            if self.record_trace:
+                self.last_trace.append(
+                    IterationSnapshot(
+                        iteration=index,
+                        digit=digit,
+                        overflow_index=overflow_index,
+                        sum_word=accumulator.sum_word.value,
+                        carry_word=accumulator.carry_word.value,
+                        pending_overflow=pending,
+                    )
+                )
+
+        return accumulator.sum_word.value, accumulator.carry_word.value, pending
+
+    def _finalize(
+        self, sum_word: int, carry_word: int, pending: int, context: R4CSALutContext
+    ) -> int:
+        """Final full addition and reduction (the near-memory step).
+
+        ``sum + carry`` is at most ``2**(n+2)`` and the modulus satisfies
+        ``p > 2**(n-1)`` (we size the registers from the modulus), so a
+        handful of conditional subtractions suffice; each is counted.
+        """
+        total = sum_word + carry_word + (pending << context.register_width)
+        self.stats.full_additions += 1
+        modulus = context.modulus
+        while total >= modulus:
+            total -= modulus
+            self.stats.subtractions += 1
+        return total
+
+    # ------------------------------------------------------------------ #
+    # cycle model
+    # ------------------------------------------------------------------ #
+    def cycles(self, bitwidth: int) -> Optional[int]:
+        """The paper's cycle count: ``3n - 1`` array cycles at ``n`` bits.
+
+        Six array accesses per iteration over ``n/2`` iterations, with the
+        last carry write-back elided (see DESIGN.md §4).  This is the
+        analytic counterpart of the measured count produced by the
+        cycle-accurate :class:`repro.modsram.ModSRAMAccelerator`.
+        """
+        if bitwidth <= 0:
+            raise OperandRangeError(f"bitwidth must be positive, got {bitwidth}")
+        iterations = (bitwidth + 1) // 2
+        return 6 * iterations - 1

@@ -1,0 +1,256 @@
+"""Short-Weierstrass elliptic curves and point arithmetic.
+
+The paper positions ModSRAM as the modular-multiplication engine inside an
+elliptic-curve system: §5.2 notes that the 64-row array is sized to hold the
+operands of one EC *point addition*, and the future-work section builds the
+ZKP argument (Figure 7) on top of point operations.  This module provides
+the curve group: affine points, Jacobian-coordinate addition/doubling (the
+formulas that actually get scheduled onto a modular multiplier), and the
+operation counts that feed the application analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.ecc.field import FieldElement, PrimeField
+from repro.errors import CurveError
+
+__all__ = ["EllipticCurve", "AffinePoint", "JacobianPoint"]
+
+
+@dataclass(frozen=True)
+class AffinePoint:
+    """A point in affine coordinates, or the point at infinity."""
+
+    x: Optional[FieldElement]
+    y: Optional[FieldElement]
+
+    @classmethod
+    def infinity(cls) -> "AffinePoint":
+        """The group identity."""
+        return cls(None, None)
+
+    @property
+    def is_infinity(self) -> bool:
+        """Whether this is the point at infinity."""
+        return self.x is None
+
+    def coordinates(self) -> Tuple[int, int]:
+        """Integer coordinates; raises for the point at infinity."""
+        if self.is_infinity or self.x is None or self.y is None:
+            raise CurveError("the point at infinity has no affine coordinates")
+        return int(self.x), int(self.y)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffinePoint):
+            return NotImplemented
+        if self.is_infinity or other.is_infinity:
+            return self.is_infinity and other.is_infinity
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        if self.is_infinity:
+            return hash(("AffinePoint", None))
+        return hash(("AffinePoint", int(self.x), int(self.y)))
+
+
+@dataclass(frozen=True)
+class JacobianPoint:
+    """A point in Jacobian projective coordinates ``(X, Y, Z)``.
+
+    The affine point is ``(X / Z², Y / Z³)``; ``Z = 0`` encodes infinity.
+    Jacobian coordinates avoid the per-operation field inversion, which is
+    why hardware (and this library's operation counting) uses them.
+    """
+
+    x: FieldElement
+    y: FieldElement
+    z: FieldElement
+
+    @property
+    def is_infinity(self) -> bool:
+        """Whether this encodes the point at infinity."""
+        return self.z.is_zero()
+
+
+class EllipticCurve:
+    """A short-Weierstrass curve ``y² = x³ + a·x + b`` over GF(p)."""
+
+    def __init__(
+        self,
+        name: str,
+        field: PrimeField,
+        a: int,
+        b: int,
+        generator: Optional[Tuple[int, int]] = None,
+        order: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.field = field
+        self.a = field.element(a)
+        self.b = field.element(b)
+        self.order = order
+        # 4a^3 + 27b^2 must be non-zero for the curve to be non-singular.
+        discriminant = field.element(4) * self.a * self.a * self.a + (
+            field.element(27) * self.b * self.b
+        )
+        if discriminant.is_zero():
+            raise CurveError(f"curve {name!r} is singular (discriminant is zero)")
+        self._generator: Optional[AffinePoint] = None
+        if generator is not None:
+            point = self.affine_point(generator[0], generator[1])
+            self._generator = point
+
+    # ------------------------------------------------------------------ #
+    # point construction / validation
+    # ------------------------------------------------------------------ #
+    def affine_point(self, x: int, y: int) -> AffinePoint:
+        """Build a validated affine point."""
+        point = AffinePoint(self.field.element(x), self.field.element(y))
+        if not self.contains(point):
+            raise CurveError(
+                f"({x:#x}, {y:#x}) does not satisfy the {self.name} curve equation"
+            )
+        return point
+
+    @property
+    def generator(self) -> AffinePoint:
+        """The standard base point."""
+        if self._generator is None:
+            raise CurveError(f"curve {self.name!r} has no generator configured")
+        return self._generator
+
+    @property
+    def field_modulus(self) -> int:
+        """The prime of the underlying field."""
+        return self.field.modulus
+
+    def contains(self, point: AffinePoint) -> bool:
+        """Whether a point satisfies the curve equation."""
+        if point.is_infinity:
+            return True
+        x, y = point.x, point.y
+        left = y * y
+        right = x * x * x + self.a * x + self.b
+        return left == right
+
+    def infinity(self) -> AffinePoint:
+        """The group identity."""
+        return AffinePoint.infinity()
+
+    # ------------------------------------------------------------------ #
+    # coordinate conversion
+    # ------------------------------------------------------------------ #
+    def to_jacobian(self, point: AffinePoint) -> JacobianPoint:
+        """Lift an affine point into Jacobian coordinates."""
+        if point.is_infinity:
+            one = self.field.one()
+            return JacobianPoint(one, one, self.field.zero())
+        return JacobianPoint(point.x, point.y, self.field.one())
+
+    def to_affine(self, point: JacobianPoint) -> AffinePoint:
+        """Normalise a Jacobian point back to affine coordinates."""
+        if point.is_infinity:
+            return AffinePoint.infinity()
+        z_inverse = point.z.inverse()
+        z2 = z_inverse.square()
+        z3 = z2 * z_inverse
+        return AffinePoint(point.x * z2, point.y * z3)
+
+    # ------------------------------------------------------------------ #
+    # group law (Jacobian coordinates)
+    # ------------------------------------------------------------------ #
+    def jacobian_double(self, point: JacobianPoint) -> JacobianPoint:
+        """Point doubling (standard Jacobian formulas)."""
+        if point.is_infinity or point.y.is_zero():
+            one = self.field.one()
+            return JacobianPoint(one, one, self.field.zero())
+        x, y, z = point.x, point.y, point.z
+        y_squared = y.square()
+        s = (x * y_squared) * 4
+        m = x.square() * 3
+        if not self.a.is_zero():
+            m = m + self.a * z.square().square()
+        new_x = m.square() - s - s
+        new_y = m * (s - new_x) - y_squared.square() * 8
+        new_z = (y * z) * 2
+        return JacobianPoint(new_x, new_y, new_z)
+
+    def jacobian_add(self, p: JacobianPoint, q: JacobianPoint) -> JacobianPoint:
+        """General Jacobian point addition."""
+        if p.is_infinity:
+            return q
+        if q.is_infinity:
+            return p
+        z1_squared = p.z.square()
+        z2_squared = q.z.square()
+        u1 = p.x * z2_squared
+        u2 = q.x * z1_squared
+        s1 = p.y * z2_squared * q.z
+        s2 = q.y * z1_squared * p.z
+        if u1 == u2:
+            if s1 == s2:
+                return self.jacobian_double(p)
+            one = self.field.one()
+            return JacobianPoint(one, one, self.field.zero())
+        h = u2 - u1
+        r = s2 - s1
+        h_squared = h.square()
+        h_cubed = h_squared * h
+        v = u1 * h_squared
+        new_x = r.square() - h_cubed - v - v
+        new_y = r * (v - new_x) - s1 * h_cubed
+        new_z = p.z * q.z * h
+        return JacobianPoint(new_x, new_y, new_z)
+
+    def jacobian_add_mixed(self, p: JacobianPoint, q: AffinePoint) -> JacobianPoint:
+        """Mixed addition (second operand affine, ``Z2 = 1``).
+
+        Mixed addition is what multi-scalar multiplication performs almost
+        exclusively, and its lower multiplication count is why the operation
+        models distinguish it from the general addition.
+        """
+        if q.is_infinity:
+            return p
+        if p.is_infinity:
+            return self.to_jacobian(q)
+        z1_squared = p.z.square()
+        u2 = q.x * z1_squared
+        s2 = q.y * z1_squared * p.z
+        if p.x == u2:
+            if p.y == s2:
+                return self.jacobian_double(p)
+            one = self.field.one()
+            return JacobianPoint(one, one, self.field.zero())
+        h = u2 - p.x
+        r = s2 - p.y
+        h_squared = h.square()
+        h_cubed = h_squared * h
+        v = p.x * h_squared
+        new_x = r.square() - h_cubed - v - v
+        new_y = r * (v - new_x) - p.y * h_cubed
+        new_z = p.z * h
+        return JacobianPoint(new_x, new_y, new_z)
+
+    # ------------------------------------------------------------------ #
+    # affine wrappers
+    # ------------------------------------------------------------------ #
+    def add(self, p: AffinePoint, q: AffinePoint) -> AffinePoint:
+        """Affine point addition (goes through Jacobian coordinates)."""
+        result = self.jacobian_add(self.to_jacobian(p), self.to_jacobian(q))
+        return self.to_affine(result)
+
+    def double(self, p: AffinePoint) -> AffinePoint:
+        """Affine point doubling."""
+        return self.to_affine(self.jacobian_double(self.to_jacobian(p)))
+
+    def negate(self, p: AffinePoint) -> AffinePoint:
+        """Additive inverse of a point."""
+        if p.is_infinity:
+            return p
+        return AffinePoint(p.x, -p.y)
+
+    def __repr__(self) -> str:
+        return f"EllipticCurve(name={self.name!r}, p={self.field.modulus:#x})"

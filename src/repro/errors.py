@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ModSRAM reproduction library.
+
+Every exception raised by :mod:`repro` derives from :class:`ReproError` so
+that callers can distinguish library failures from programming errors in
+their own code with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class BitWidthError(ReproError, ValueError):
+    """An operand does not fit in the declared bit width."""
+
+
+class OperandRangeError(ReproError, ValueError):
+    """An operand violates a range precondition (e.g. ``0 <= a < p``)."""
+
+
+class ModulusError(ReproError, ValueError):
+    """The modulus is invalid for the requested operation."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A hardware or algorithm configuration is inconsistent."""
+
+
+class MemoryMapError(ReproError, ValueError):
+    """A request addresses the SRAM memory map incorrectly."""
+
+
+class SramAccessError(ReproError, ValueError):
+    """An SRAM array access is out of range or malformed."""
+
+
+class ReadDisturbError(ReproError, RuntimeError):
+    """A simulated access pattern would corrupt 6T cells (read disturb)."""
+
+
+class SenseMarginError(ReproError, RuntimeError):
+    """The sense amplifier could not resolve the bitline level reliably."""
+
+
+class ControllerError(ReproError, RuntimeError):
+    """The ModSRAM controller reached an illegal state."""
+
+
+class CurveError(ReproError, ValueError):
+    """An elliptic-curve parameter or point is invalid."""
+
+
+class NttError(ReproError, ValueError):
+    """An NTT size or modulus is unsupported."""

@@ -1,0 +1,5 @@
+"""Operation counting shared by all subsystems."""
+
+from repro.instrumentation.counters import OperationCounter, ScopedCounter
+
+__all__ = ["OperationCounter", "ScopedCounter"]

@@ -1,0 +1,73 @@
+"""ModSRAM: the 8T SRAM PIM accelerator co-designed with R4CSA-LUT.
+
+The cycle-level model (:class:`ModSRAMAccelerator`) executes the algorithm
+on the simulated array; the surrounding modules provide the memory map, the
+near-memory datapath, the controller FSM, the area model behind Figure 5 and
+the :class:`ModSRAMMultiplier` adapter that plugs the hardware model into
+any code written against the generic multiplier interface.
+"""
+
+from repro.modsram.accelerator import (
+    CycleReport,
+    ModSRAMAccelerator,
+    MultiplicationResult,
+)
+from repro.modsram.area import (
+    PAPER_AREA_MM2,
+    PAPER_AREA_OVERHEAD_PERCENT,
+    PAPER_BREAKDOWN_PERCENT,
+    AreaBreakdown,
+    AreaModel,
+    AreaParameters,
+)
+from repro.modsram.config import PAPER_CONFIG, ModSRAMConfig
+from repro.modsram.controller import Controller, ControllerState, CycleBudget
+from repro.modsram.datapath import DatapathStats, NearMemoryDatapath
+from repro.modsram.memory_map import MemoryMap, MemoryUtilization
+from repro.modsram.multiplier import ModSRAMMultiplier
+from repro.modsram.scheduler import (
+    PointOperationSchedule,
+    PointOperationScheduler,
+    ScheduledMultiplication,
+)
+from repro.modsram.system import ModSRAMSystem, SystemProjection, Workload
+from repro.modsram.trace import CycleEvent, ExecutionTrace, Phase
+from repro.modsram.verification import (
+    EquivalenceChecker,
+    VerificationCase,
+    VerificationReport,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "AreaModel",
+    "AreaParameters",
+    "Controller",
+    "ControllerState",
+    "CycleBudget",
+    "CycleEvent",
+    "CycleReport",
+    "DatapathStats",
+    "EquivalenceChecker",
+    "ExecutionTrace",
+    "MemoryMap",
+    "MemoryUtilization",
+    "ModSRAMAccelerator",
+    "ModSRAMConfig",
+    "ModSRAMMultiplier",
+    "ModSRAMSystem",
+    "MultiplicationResult",
+    "NearMemoryDatapath",
+    "PAPER_AREA_MM2",
+    "PAPER_AREA_OVERHEAD_PERCENT",
+    "PAPER_BREAKDOWN_PERCENT",
+    "PAPER_CONFIG",
+    "Phase",
+    "PointOperationSchedule",
+    "PointOperationScheduler",
+    "ScheduledMultiplication",
+    "SystemProjection",
+    "VerificationCase",
+    "VerificationReport",
+    "Workload",
+]

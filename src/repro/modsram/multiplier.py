@@ -1,0 +1,95 @@
+"""Adapter exposing the cycle-level accelerator as a ModularMultiplier.
+
+This lets the ECC field layer, the ZKP kernels and the algorithm test suite
+treat the simulated hardware exactly like any software algorithm: the same
+interface, the same operand preconditions, the same oracle checks.  The
+adapter also accumulates cycle statistics across calls, which is how the
+application-level examples estimate end-to-end latency on ModSRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.algorithms.base import ModularMultiplier, register_multiplier
+from repro.modsram.accelerator import CycleReport, ModSRAMAccelerator
+from repro.modsram.config import ModSRAMConfig
+
+__all__ = ["ModSRAMMultiplier"]
+
+
+@register_multiplier
+class ModSRAMMultiplier(ModularMultiplier):
+    """Runs every multiplication through the cycle-level ModSRAM model."""
+
+    name = "modsram"
+    description = (
+        "Cycle-level ModSRAM accelerator model (R4CSA-LUT executed in the "
+        "simulated 8T SRAM array)."
+    )
+    direct_form = True
+
+    def __init__(self, config: Optional[ModSRAMConfig] = None) -> None:
+        super().__init__()
+        self._config = config
+        self._accelerators: Dict[int, ModSRAMAccelerator] = {}
+        self.reports: List[CycleReport] = []
+
+    # ------------------------------------------------------------------ #
+    # accelerator management
+    # ------------------------------------------------------------------ #
+    def accelerator_for(self, modulus: int) -> ModSRAMAccelerator:
+        """Return (and cache) a macro sized for ``modulus``.
+
+        When the adapter was constructed with an explicit configuration that
+        configuration is always used; otherwise a macro is instantiated per
+        modulus bitwidth, mirroring how a real deployment would provision
+        one macro per field.
+        """
+        if self._config is not None:
+            key = self._config.bitwidth
+            if key not in self._accelerators:
+                self._accelerators[key] = ModSRAMAccelerator(self._config)
+            return self._accelerators[key]
+        bitwidth = max(modulus.bit_length(), 4)
+        if bitwidth not in self._accelerators:
+            config = ModSRAMConfig().with_bitwidth(bitwidth)
+            self._accelerators[bitwidth] = ModSRAMAccelerator(config)
+        return self._accelerators[bitwidth]
+
+    # ------------------------------------------------------------------ #
+    # ModularMultiplier interface
+    # ------------------------------------------------------------------ #
+    def _multiply(self, a: int, b: int, modulus: int) -> int:
+        accelerator = self.accelerator_for(modulus)
+        result = accelerator.multiply(a, b, modulus)
+        self.reports.append(result.report)
+        self.stats.iterations += result.report.iterations
+        self.stats.lut_lookups += 2 * result.report.iterations
+        self.stats.carry_save_additions += 2 * result.report.iterations
+        if not result.report.lut_reused:
+            self.stats.precomputations += 1
+        return result.product
+
+    def cycles(self, bitwidth: int) -> Optional[int]:
+        """Main-loop cycles of a macro sized for ``bitwidth`` operands."""
+        config = (
+            self._config
+            if self._config is not None and self._config.bitwidth == bitwidth
+            else ModSRAMConfig().with_bitwidth(bitwidth)
+        )
+        return config.expected_iteration_cycles
+
+    # ------------------------------------------------------------------ #
+    # aggregate reporting
+    # ------------------------------------------------------------------ #
+    def total_iteration_cycles(self) -> int:
+        """Main-loop cycles accumulated over every multiplication so far."""
+        return sum(report.iteration_cycles for report in self.reports)
+
+    def lut_reuse_rate(self) -> float:
+        """Fraction of multiplications that reused the resident LUTs."""
+        if not self.reports:
+            return 0.0
+        reused = sum(1 for report in self.reports if report.lut_reused)
+        return reused / len(self.reports)

@@ -1,0 +1,185 @@
+"""System-level projection: many ModSRAM macros serving a workload.
+
+The paper's future-work section ("we plan to integrate the module into a
+system-level application") frames ModSRAM as the multiplier tile of a larger
+ZKP/ECC accelerator.  This module provides the first-order system model such
+an integration study needs: a pool of identical macros, a workload expressed
+as a number of independent modular multiplications (plus how often the
+multiplicand changes, which determines LUT refills), and the resulting
+throughput, latency, area and energy — including the memory traffic the
+in-SRAM approach avoids compared with a conventional multiplier that streams
+operands and intermediates through a register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.modsram.area import AreaModel
+from repro.modsram.config import ModSRAMConfig, PAPER_CONFIG
+
+__all__ = ["Workload", "SystemProjection", "ModSRAMSystem"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A batch of modular multiplications to be executed.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports (e.g. ``"msm-2^15"``).
+    multiplications:
+        Total modular multiplications in the batch.
+    multiplicand_changes:
+        How many of those multiplications use a *different* multiplicand
+        than their predecessor on the same macro (each change refills the
+        five radix-4 LUT rows).  ``None`` means "every multiplication"
+        (no reuse), the conservative default.
+    bitwidth:
+        Operand width; must match the macro configuration.
+    """
+
+    name: str
+    multiplications: int
+    multiplicand_changes: Optional[int] = None
+    bitwidth: int = 256
+
+    def __post_init__(self) -> None:
+        if self.multiplications < 0:
+            raise ConfigurationError(
+                f"multiplications must be non-negative, got {self.multiplications}"
+            )
+        if self.multiplicand_changes is not None and not (
+            0 <= self.multiplicand_changes <= self.multiplications
+        ):
+            raise ConfigurationError(
+                "multiplicand_changes must lie between 0 and the multiplication count"
+            )
+
+    @property
+    def effective_multiplicand_changes(self) -> int:
+        """LUT refills implied by the workload (conservative when unknown)."""
+        if self.multiplicand_changes is None:
+            return self.multiplications
+        return self.multiplicand_changes
+
+
+@dataclass(frozen=True)
+class SystemProjection:
+    """Throughput/latency/area/energy of a macro pool on one workload."""
+
+    workload: Workload
+    macros: int
+    cycles_per_multiplication: int
+    lut_refill_cycles: int
+    total_cycles_per_macro: int
+    latency_ms: float
+    throughput_mops: float
+    area_mm2: float
+    energy_mj: float
+    avoided_register_writes: int
+    avoided_memory_accesses: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary for tables."""
+        return {
+            "workload": self.workload.name,
+            "macros": self.macros,
+            "cycles_per_multiplication": self.cycles_per_multiplication,
+            "lut_refill_cycles": self.lut_refill_cycles,
+            "total_cycles_per_macro": self.total_cycles_per_macro,
+            "latency_ms": self.latency_ms,
+            "throughput_mops": self.throughput_mops,
+            "area_mm2": self.area_mm2,
+            "energy_mj": self.energy_mj,
+            "avoided_register_writes": self.avoided_register_writes,
+            "avoided_memory_accesses": self.avoided_memory_accesses,
+        }
+
+
+class ModSRAMSystem:
+    """A pool of identical ModSRAM macros."""
+
+    #: Cycles to refill the five radix-4 LUT rows for a new multiplicand
+    #: (row writes plus the near-memory modular computations).
+    LUT_REFILL_CYCLES = 11
+    #: Energy of one multiplication on one macro (pJ), from the energy model
+    #: run over one multiplication's access counts in the default config.
+    ENERGY_PER_MULTIPLICATION_PJ = 1200.0
+    #: Register writes / memory accesses a conventional word-serial multiplier
+    #: would spend per multiplication (the Figure 7 quantities ModSRAM avoids).
+    AVOIDED_REGISTER_WRITES_PER_MUL = 20
+    AVOIDED_MEMORY_ACCESSES_PER_MUL = 5
+
+    def __init__(
+        self, macros: int = 1, config: Optional[ModSRAMConfig] = None
+    ) -> None:
+        if macros <= 0:
+            raise ConfigurationError(f"macros must be positive, got {macros}")
+        self.macros = macros
+        self.config = config or PAPER_CONFIG
+        self._area_model = AreaModel(self.config)
+
+    # ------------------------------------------------------------------ #
+    # projections
+    # ------------------------------------------------------------------ #
+    def project(self, workload: Workload) -> SystemProjection:
+        """Project the execution of one workload on this macro pool."""
+        if workload.bitwidth != self.config.bitwidth:
+            raise ConfigurationError(
+                f"workload bitwidth {workload.bitwidth} does not match the "
+                f"macro bitwidth {self.config.bitwidth}"
+            )
+        cycles_per_mul = self.config.expected_iteration_cycles
+        refills = workload.effective_multiplicand_changes
+        refill_cycles = refills * self.LUT_REFILL_CYCLES
+
+        # Multiplications are independent, so they spread evenly over macros;
+        # LUT refills are per-macro work and spread the same way.
+        per_macro_muls = -(-workload.multiplications // self.macros)
+        per_macro_refills = -(-refills // self.macros)
+        total_cycles = (
+            per_macro_muls * cycles_per_mul
+            + per_macro_refills * self.LUT_REFILL_CYCLES
+        )
+
+        frequency_hz = self.config.frequency_mhz * 1e6
+        latency_s = total_cycles / frequency_hz if workload.multiplications else 0.0
+        throughput = (
+            workload.multiplications / latency_s if latency_s > 0 else 0.0
+        )
+        energy_j = workload.multiplications * self.ENERGY_PER_MULTIPLICATION_PJ * 1e-12
+
+        return SystemProjection(
+            workload=workload,
+            macros=self.macros,
+            cycles_per_multiplication=cycles_per_mul,
+            lut_refill_cycles=refill_cycles,
+            total_cycles_per_macro=total_cycles,
+            latency_ms=latency_s * 1e3,
+            throughput_mops=throughput / 1e6,
+            area_mm2=self.macros * self._area_model.total_mm2(),
+            energy_mj=energy_j * 1e3,
+            avoided_register_writes=(
+                workload.multiplications * self.AVOIDED_REGISTER_WRITES_PER_MUL
+            ),
+            avoided_memory_accesses=(
+                workload.multiplications * self.AVOIDED_MEMORY_ACCESSES_PER_MUL
+            ),
+        )
+
+    def macros_for_latency(self, workload: Workload, target_ms: float) -> int:
+        """Smallest macro count that meets a latency target for a workload."""
+        if target_ms <= 0:
+            raise ConfigurationError(f"target latency must be positive, got {target_ms}")
+        single = ModSRAMSystem(1, self.config).project(workload)
+        if single.latency_ms <= target_ms:
+            return 1
+        # Latency scales (almost) inversely with the macro count.
+        estimate = max(1, int(single.latency_ms / target_ms))
+        while ModSRAMSystem(estimate, self.config).project(workload).latency_ms > target_ms:
+            estimate += max(1, estimate // 10)
+        return estimate

@@ -1,0 +1,202 @@
+"""Behavioural model of the ModSRAM 8T SRAM array.
+
+The array is the in-memory-computing half of ModSRAM: a 64 × 256 tile of 8T
+cells whose read port can activate up to three read word lines at once.
+When several rows are activated, each read bitline discharges in proportion
+to the number of selected cells that store a one; the logic-SA module
+(:mod:`repro.sram.sense_amp`) then resolves that analogue level into the
+XOR3 and MAJ outputs that implement carry-save addition.
+
+The model is bit-accurate and deliberately structural: rows are written and
+read through the same narrow interface the hardware has (full-row writes via
+the write port, single- or multi-row reads via the read port), every access
+is counted, and illegal access patterns (activating more rows than the cell
+can tolerate, mixing a 6T cell with multi-row reads) are detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReadDisturbError, SramAccessError
+from repro.sram.cell import EightTransistorCell, SramCell
+from repro.sram.stats import ArrayStats
+
+__all__ = ["BitlineReadout", "SramArray"]
+
+
+@dataclass(frozen=True)
+class BitlineReadout:
+    """Result of one (possibly multi-row) read-port access.
+
+    Attributes
+    ----------
+    activated_rows:
+        The row indices whose read word lines were raised.
+    column_counts:
+        For every column, the number of activated cells storing a one
+        (0..3).  This is the digital abstraction of the read-bitline
+        discharge level that the sense-amplifier module resolves.
+    columns:
+        Width of the access in bits.
+    """
+
+    activated_rows: Tuple[int, ...]
+    column_counts: Tuple[int, ...]
+    columns: int
+
+    def wired_or(self) -> int:
+        """Columns with at least one conducting cell (a plain multi-row OR)."""
+        value = 0
+        for index, count in enumerate(self.column_counts):
+            if count:
+                value |= 1 << index
+        return value
+
+    def exact_value(self) -> int:
+        """Single-row reads only: the stored word."""
+        if len(self.activated_rows) != 1:
+            raise SramAccessError(
+                "exact_value() is only defined for single-row reads; "
+                f"{len(self.activated_rows)} rows were activated"
+            )
+        return self.wired_or()
+
+
+class SramArray:
+    """A rows × cols SRAM tile with separate read and write ports."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        cell: SramCell = EightTransistorCell,
+        name: str = "sram",
+        strict_disturb: bool = True,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise SramAccessError(
+                f"array dimensions must be positive, got {rows}x{cols}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.cell = cell
+        self.name = name
+        #: When True, a disturb-prone access raises; when False it is only
+        #: recorded (useful for "what would a 6T design have to do" studies).
+        self.strict_disturb = strict_disturb
+        self.stats = ArrayStats()
+        self._data: List[int] = [0] * rows
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def column_mask(self) -> int:
+        """All-ones mask covering every column."""
+        return (1 << self.cols) - 1
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total storage capacity in bits."""
+        return self.rows * self.cols
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise SramAccessError(
+                f"row {row} out of range for {self.rows}-row array {self.name!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # write port
+    # ------------------------------------------------------------------ #
+    def write_row(self, row: int, value: int) -> None:
+        """Write a full row through the write port."""
+        self._check_row(row)
+        if value < 0:
+            raise SramAccessError(f"row value must be non-negative, got {value}")
+        if value >> self.cols:
+            raise SramAccessError(
+                f"value {value:#x} does not fit in a {self.cols}-column row"
+            )
+        self._data[row] = value
+        self.stats.record_write(self.cols)
+
+    def clear(self) -> None:
+        """Write zero to every row (counted as individual row writes)."""
+        for row in range(self.rows):
+            self.write_row(row, 0)
+
+    # ------------------------------------------------------------------ #
+    # read port
+    # ------------------------------------------------------------------ #
+    def read_row(self, row: int) -> int:
+        """Plain single-row read."""
+        readout = self.activate_rows([row])
+        return readout.exact_value()
+
+    def activate_rows(self, rows: Sequence[int]) -> BitlineReadout:
+        """Activate one or more read word lines simultaneously.
+
+        Returns the per-column conducting-cell counts (the digital view of
+        the bitline discharge levels).  Raises :class:`ReadDisturbError` if
+        the access pattern is unsafe for the configured cell and the array
+        is in strict mode.
+        """
+        if not rows:
+            raise SramAccessError("at least one row must be activated")
+        unique = tuple(dict.fromkeys(rows))
+        if len(unique) != len(rows):
+            raise SramAccessError(f"duplicate rows in activation set: {rows}")
+        for row in unique:
+            self._check_row(row)
+
+        if self.cell.disturb_risk(len(unique)):
+            self.stats.record_disturb()
+            if self.strict_disturb:
+                raise ReadDisturbError(
+                    f"activating {len(unique)} rows on a {self.cell.name} array "
+                    f"exceeds the safe limit of {self.cell.max_simultaneous_reads}"
+                )
+
+        words = [self._data[row] for row in unique]
+        counts = tuple(
+            sum((word >> column) & 1 for word in words)
+            for column in range(self.cols)
+        )
+        self.stats.record_read(len(unique), compute=len(unique) > 1)
+        return BitlineReadout(
+            activated_rows=unique, column_counts=counts, columns=self.cols
+        )
+
+    # ------------------------------------------------------------------ #
+    # debug / inspection (not counted as hardware accesses)
+    # ------------------------------------------------------------------ #
+    def peek(self, row: int) -> int:
+        """Inspect a row without modelling a hardware access."""
+        self._check_row(row)
+        return self._data[row]
+
+    def poke(self, row: int, value: int) -> None:
+        """Set a row without modelling a hardware access (test fixtures)."""
+        self._check_row(row)
+        if value < 0 or value >> self.cols:
+            raise SramAccessError(
+                f"value {value:#x} does not fit in a {self.cols}-column row"
+            )
+        self._data[row] = value
+
+    def dump(self) -> Dict[int, int]:
+        """Snapshot of every non-zero row (row index → stored word)."""
+        return {row: word for row, word in enumerate(self._data) if word}
+
+    def area_um2(self) -> float:
+        """Full-custom area of the cell array alone."""
+        return self.cell.area_for(self.rows, self.cols)
+
+    def __repr__(self) -> str:
+        return (
+            f"SramArray(name={self.name!r}, rows={self.rows}, cols={self.cols}, "
+            f"cell={self.cell.name})"
+        )

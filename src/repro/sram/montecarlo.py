@@ -1,0 +1,160 @@
+"""Monte-Carlo robustness analysis of the logic-SA sensing scheme.
+
+The multi-level sensing that makes in-memory XOR3/MAJ possible is the part
+of ModSRAM a silicon team would worry about: the read bitline must settle at
+one of four levels and three sense amplifiers must each resolve a quarter-VDD
+margin in the presence of offset and noise.  The paper validates this with
+HSPICE; the reproduction provides (a) the analytic flip probability already
+exposed by :class:`repro.sram.sense_amp.LogicSenseAmpModule` and (b) this
+Monte-Carlo harness, which injects Gaussian bitline noise into the
+behavioural model, measures how often a column's recovered XOR3/MAJ pair is
+wrong, and — run against the full accelerator — how often a whole modular
+multiplication silently corrupts.  The two estimates are cross-checked in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sram.sense_amp import SenseAmpParameters
+
+__all__ = ["ColumnTrialResult", "MonteCarloSenseAnalysis"]
+
+
+@dataclass(frozen=True)
+class ColumnTrialResult:
+    """Outcome of one batch of noisy column-sensing trials."""
+
+    noise_sigma_v: float
+    trials: int
+    level_errors: int
+    xor_errors: int
+    maj_errors: int
+
+    @property
+    def level_error_rate(self) -> float:
+        """Fraction of trials in which the recovered count was wrong."""
+        return self.level_errors / self.trials if self.trials else 0.0
+
+    @property
+    def logic_error_rate(self) -> float:
+        """Fraction of trials in which XOR3 or MAJ was wrong.
+
+        A level error of ±2 can still produce a correct XOR3 bit, so this is
+        the rate that actually matters for computation correctness.
+        """
+        if not self.trials:
+            return 0.0
+        wrong = self.xor_errors + self.maj_errors
+        return min(1.0, wrong / (2 * self.trials))
+
+
+class MonteCarloSenseAnalysis:
+    """Noise-injection experiments on the multi-level sensing scheme."""
+
+    def __init__(
+        self,
+        parameters: Optional[SenseAmpParameters] = None,
+        seed: int = 0,
+    ) -> None:
+        self.parameters = parameters or SenseAmpParameters()
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------ #
+    # column-level trials
+    # ------------------------------------------------------------------ #
+    def _noisy_level(self, count: int, noise_sigma_v: float) -> int:
+        """Recover the discharge level of one column under noise.
+
+        The bitline voltage and each reference are perturbed independently;
+        the recovered level is the number of references the (noisy) bitline
+        has fallen below, exactly as the three SAs decide it.
+        """
+        voltage = self.parameters.bitline_voltage(count) + self._rng.gauss(
+            0.0, noise_sigma_v
+        )
+        level = 0
+        for reference in self.parameters.reference_voltages():
+            noisy_reference = reference + self._rng.gauss(0.0, noise_sigma_v)
+            if voltage < noisy_reference:
+                level += 1
+        return level
+
+    def column_trials(
+        self, noise_sigma_v: float, trials: int = 10000
+    ) -> ColumnTrialResult:
+        """Measure level/XOR3/MAJ error rates for one column under noise."""
+        if trials <= 0:
+            raise ConfigurationError(f"trials must be positive, got {trials}")
+        if noise_sigma_v < 0:
+            raise ConfigurationError(
+                f"noise sigma must be non-negative, got {noise_sigma_v}"
+            )
+        level_errors = 0
+        xor_errors = 0
+        maj_errors = 0
+        for _ in range(trials):
+            true_count = self._rng.randrange(4)
+            recovered = self._noisy_level(true_count, noise_sigma_v)
+            if recovered != true_count:
+                level_errors += 1
+            if (recovered & 1) != (true_count & 1):
+                xor_errors += 1
+            if (recovered >= 2) != (true_count >= 2):
+                maj_errors += 1
+        return ColumnTrialResult(
+            noise_sigma_v=noise_sigma_v,
+            trials=trials,
+            level_errors=level_errors,
+            xor_errors=xor_errors,
+            maj_errors=maj_errors,
+        )
+
+    def noise_sweep(
+        self, sigmas_v: Tuple[float, ...] = (0.005, 0.015, 0.03, 0.045, 0.06),
+        trials: int = 5000,
+    ) -> Dict[float, ColumnTrialResult]:
+        """Column error rates across a range of noise levels."""
+        return {sigma: self.column_trials(sigma, trials) for sigma in sigmas_v}
+
+    # ------------------------------------------------------------------ #
+    # derived figures
+    # ------------------------------------------------------------------ #
+    def multiplication_failure_probability(
+        self,
+        column_error_rate: float,
+        columns: int,
+        accesses: int,
+    ) -> float:
+        """Probability that at least one bit of one multiplication is wrong.
+
+        ``accesses`` is the number of logic-SA accesses in the schedule (two
+        per iteration); each access senses every column independently.
+        """
+        if not 0.0 <= column_error_rate <= 1.0:
+            raise ConfigurationError(
+                f"column error rate must be a probability, got {column_error_rate}"
+            )
+        if columns <= 0 or accesses <= 0:
+            raise ConfigurationError("columns and accesses must be positive")
+        survive = (1.0 - column_error_rate) ** (columns * accesses)
+        return 1.0 - survive
+
+    def maximum_tolerable_column_error_rate(
+        self, columns: int, accesses: int, target_failure: float = 1e-9
+    ) -> float:
+        """Column error rate that keeps whole multiplications below a target.
+
+        Useful for turning a reliability target (say, one corrupted
+        multiplication per 10^9) into a sensing-margin requirement.
+        """
+        if not 0.0 < target_failure < 1.0:
+            raise ConfigurationError(
+                f"target failure must be in (0, 1), got {target_failure}"
+            )
+        exponent = 1.0 / (columns * accesses)
+        return 1.0 - (1.0 - target_failure) ** exponent

@@ -1,0 +1,47 @@
+"""Zero-knowledge-proof kernels: NTT, MSM and their operation-count models."""
+
+from repro.zkp.mapping import (
+    KernelMapping,
+    map_zkp_kernels,
+    msm_workload,
+    ntt_distinct_twiddle_multiplications,
+    ntt_workload,
+)
+from repro.zkp.msm import (
+    MsmStatistics,
+    default_window_bits,
+    msm_naive,
+    msm_pippenger,
+)
+from repro.zkp.ntt import NttContext, bit_reverse_indices, find_root_of_unity
+from repro.zkp.polynomial import Polynomial
+from repro.zkp.opcount import (
+    PAPER_FIGURE7_BITWIDTH,
+    PAPER_FIGURE7_VECTOR_SIZE,
+    OperationCounts,
+    msm_operation_counts,
+    msm_point_additions,
+    ntt_operation_counts,
+)
+
+__all__ = [
+    "KernelMapping",
+    "MsmStatistics",
+    "NttContext",
+    "OperationCounts",
+    "PAPER_FIGURE7_BITWIDTH",
+    "PAPER_FIGURE7_VECTOR_SIZE",
+    "Polynomial",
+    "bit_reverse_indices",
+    "default_window_bits",
+    "find_root_of_unity",
+    "map_zkp_kernels",
+    "msm_naive",
+    "msm_operation_counts",
+    "msm_pippenger",
+    "msm_point_additions",
+    "msm_workload",
+    "ntt_distinct_twiddle_multiplications",
+    "ntt_operation_counts",
+    "ntt_workload",
+]

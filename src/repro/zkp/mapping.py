@@ -1,0 +1,114 @@
+"""Mapping the ZKP kernels onto ModSRAM macros.
+
+The paper's Figure 7 argument is qualitative (ModSRAM removes the register
+writes and memory accesses of every modular multiplication); this module
+makes it quantitative by combining the operation-count models with the
+macro's cycle/LUT-reuse behaviour:
+
+* for the **NTT**, the multiplicand of every butterfly multiplication is a
+  twiddle factor, and butterflies sharing a twiddle can be scheduled
+  back-to-back on the same macro, so the radix-4 LUT is refilled only once
+  per *distinct* twiddle per stage — a measurable data-reuse win;
+* for the **MSM**, every multiplication's multiplicand is a fresh coordinate,
+  so there is essentially no LUT reuse and the projection charges a refill
+  per multiplication — the honest, conservative case.
+
+Both projections go through :class:`repro.modsram.system.ModSRAMSystem`, so
+macro count, latency, throughput, area and energy all come from the same
+calibrated models used everywhere else.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import OperandRangeError
+from repro.modsram.config import ModSRAMConfig, PAPER_CONFIG
+from repro.modsram.system import ModSRAMSystem, SystemProjection, Workload
+from repro.zkp.opcount import msm_operation_counts, ntt_operation_counts
+
+__all__ = ["ntt_distinct_twiddle_multiplications", "ntt_workload", "msm_workload", "KernelMapping"]
+
+
+def ntt_distinct_twiddle_multiplications(vector_size: int) -> int:
+    """Number of (stage, twiddle) pairs in a radix-2 NTT.
+
+    Stage ``s`` (1-based, ``1 <= s <= log2 N``) uses ``2**(s-1)`` distinct
+    twiddle factors; summing over stages gives ``N - 1``.  Each distinct pair
+    is one radix-4 LUT refill when the butterflies sharing a twiddle are
+    scheduled consecutively on one macro.
+    """
+    if vector_size <= 1 or vector_size & (vector_size - 1):
+        raise OperandRangeError(
+            f"vector size must be a power of two, got {vector_size}"
+        )
+    return vector_size - 1
+
+
+def ntt_workload(vector_size: int, bitwidth: int = 256) -> Workload:
+    """The NTT's multiplications as a ModSRAM workload (twiddle reuse aware)."""
+    counts = ntt_operation_counts(vector_size, bitwidth)
+    return Workload(
+        name=f"ntt-2^{int(math.log2(vector_size))}",
+        multiplications=counts.modular_multiplications,
+        multiplicand_changes=ntt_distinct_twiddle_multiplications(vector_size),
+        bitwidth=bitwidth,
+    )
+
+
+def msm_workload(vector_size: int, bitwidth: int = 256, window_bits: int = 16) -> Workload:
+    """The MSM's multiplications as a ModSRAM workload (no multiplicand reuse)."""
+    counts = msm_operation_counts(vector_size, bitwidth, window_bits=window_bits)
+    is_power_of_two = vector_size > 0 and (vector_size & (vector_size - 1)) == 0
+    name = (
+        f"msm-2^{int(math.log2(vector_size))}" if is_power_of_two else f"msm-{vector_size}"
+    )
+    return Workload(
+        name=name,
+        multiplications=counts.modular_multiplications,
+        multiplicand_changes=None,
+        bitwidth=bitwidth,
+    )
+
+
+@dataclass(frozen=True)
+class KernelMapping:
+    """Projection of both ZKP kernels onto a macro pool."""
+
+    macros: int
+    ntt: SystemProjection
+    msm: SystemProjection
+
+    def as_rows(self) -> list:
+        """Rows for a report table: one per kernel."""
+        rows = []
+        for projection in (self.ntt, self.msm):
+            rows.append(
+                [
+                    projection.workload.name,
+                    projection.workload.multiplications,
+                    projection.macros,
+                    round(projection.latency_ms, 2),
+                    round(projection.throughput_mops, 3),
+                    round(projection.area_mm2, 3),
+                    projection.avoided_register_writes,
+                ]
+            )
+        return rows
+
+
+def map_zkp_kernels(
+    vector_size: int = 2**15,
+    bitwidth: int = 256,
+    macros: int = 16,
+    config: Optional[ModSRAMConfig] = None,
+) -> KernelMapping:
+    """Project the Figure 7 kernels onto a pool of ModSRAM macros."""
+    system = ModSRAMSystem(macros, config or PAPER_CONFIG)
+    return KernelMapping(
+        macros=macros,
+        ntt=system.project(ntt_workload(vector_size, bitwidth)),
+        msm=system.project(msm_workload(vector_size, bitwidth)),
+    )

@@ -1,0 +1,216 @@
+"""Number-theoretic transform (NTT) over prime fields.
+
+The NTT is one of the two dominant kernels of a zero-knowledge-proof backend
+(Figure 7): polynomial multiplications in the proof system are carried out
+point-wise in the evaluation domain, so forward/inverse transforms over the
+curve's scalar field account for a large fraction of the modular
+multiplications.  This implementation is the standard iterative radix-2
+Cooley–Tukey transform; every butterfly's multiplications, memory accesses
+and register writes are counted so the Figure 7 operation-count analysis can
+be generated from measurement rather than quoted from the paper's citations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import NttError
+from repro.instrumentation import OperationCounter
+
+__all__ = ["NttContext", "bit_reverse_indices", "find_root_of_unity"]
+
+
+def bit_reverse_indices(size: int) -> List[int]:
+    """The bit-reversal permutation for a power-of-two ``size``."""
+    if size <= 0 or size & (size - 1):
+        raise NttError(f"size must be a power of two, got {size}")
+    bits = size.bit_length() - 1
+    indices = []
+    for index in range(size):
+        reversed_index = 0
+        value = index
+        for _ in range(bits):
+            reversed_index = (reversed_index << 1) | (value & 1)
+            value >>= 1
+        indices.append(reversed_index)
+    return indices
+
+
+def find_root_of_unity(modulus: int, size: int, seed: int = 0) -> int:
+    """Find an element of exact multiplicative order ``size`` modulo ``modulus``.
+
+    Requires ``size`` to divide ``modulus - 1`` (the NTT-friendliness
+    condition).  The search raises random elements to the power
+    ``(modulus - 1) / size`` and keeps the first result whose order is
+    exactly ``size``.
+    """
+    if size <= 0 or size & (size - 1):
+        raise NttError(f"size must be a power of two, got {size}")
+    if (modulus - 1) % size:
+        raise NttError(
+            f"no NTT of size {size} exists modulo {modulus:#x}: "
+            f"{size} does not divide p - 1"
+        )
+    exponent = (modulus - 1) // size
+    rng = random.Random(seed)
+    for _ in range(256):
+        candidate = pow(rng.randrange(2, modulus - 1), exponent, modulus)
+        if candidate == 1:
+            continue
+        if size == 1 or pow(candidate, size // 2, modulus) != 1:
+            return candidate
+    raise NttError(
+        f"could not find a primitive {size}-th root of unity modulo {modulus:#x}"
+    )
+
+
+@dataclass(frozen=True)
+class _CountWeights:
+    """How many architectural events one butterfly implies.
+
+    The memory-access and register-write weights model a conventional
+    (non-PIM) word-serial datapath: a butterfly reads two coefficients and a
+    twiddle factor and writes two results (5 value-level accesses), and each
+    256-bit modular multiplication on a 32-bit word-serial multiplier updates
+    roughly ``2 * words + 4`` working registers.  These are the quantities
+    Figure 7 compares and the ones ModSRAM's in-memory accumulation removes.
+    """
+
+    value_accesses_per_butterfly: int = 5
+    register_writes_per_word: int = 2
+    register_writes_fixed: int = 4
+
+
+class NttContext:
+    """Forward and inverse NTT of a fixed power-of-two size."""
+
+    def __init__(
+        self,
+        modulus: int,
+        size: int,
+        root_of_unity: Optional[int] = None,
+        counter: Optional[OperationCounter] = None,
+        word_bits: int = 32,
+    ) -> None:
+        if size <= 1 or size & (size - 1):
+            raise NttError(f"size must be a power of two greater than 1, got {size}")
+        if modulus <= 2:
+            raise NttError(f"modulus must be greater than 2, got {modulus}")
+        self.modulus = modulus
+        self.size = size
+        self.counter = counter or OperationCounter("ntt")
+        self.word_bits = word_bits
+        self._weights = _CountWeights()
+        self.root = (
+            root_of_unity
+            if root_of_unity is not None
+            else find_root_of_unity(modulus, size)
+        )
+        if pow(self.root, size, modulus) != 1 or pow(self.root, size // 2, modulus) == 1:
+            raise NttError(
+                f"{self.root:#x} is not a primitive {size}-th root of unity"
+            )
+        self.inverse_root = pow(self.root, modulus - 2, modulus)
+        self.size_inverse = pow(size, modulus - 2, modulus)
+        # Precomputed twiddle factors, natural order.
+        self._twiddles = self._powers(self.root)
+        self._inverse_twiddles = self._powers(self.inverse_root)
+
+    def _powers(self, base: int) -> List[int]:
+        powers = [1] * (self.size // 2)
+        for index in range(1, self.size // 2):
+            powers[index] = (powers[index - 1] * base) % self.modulus
+        return powers
+
+    # ------------------------------------------------------------------ #
+    # counting helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def _words_per_operand(self) -> int:
+        return max(1, -(-self.modulus.bit_length() // self.word_bits))
+
+    def _count_butterfly(self) -> None:
+        weights = self._weights
+        self.counter.increment("modmul")
+        self.counter.add("modadd", 2)
+        self.counter.add("memory_access", weights.value_accesses_per_butterfly)
+        self.counter.add(
+            "register_write",
+            weights.register_writes_per_word * self._words_per_operand
+            + weights.register_writes_fixed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # transforms
+    # ------------------------------------------------------------------ #
+    def _transform(self, values: Sequence[int], twiddles: List[int]) -> List[int]:
+        if len(values) != self.size:
+            raise NttError(
+                f"expected {self.size} coefficients, got {len(values)}"
+            )
+        modulus = self.modulus
+        data = [value % modulus for value in values]
+        # Bit-reversal permutation (decimation in time).
+        for index, reversed_index in enumerate(bit_reverse_indices(self.size)):
+            if index < reversed_index:
+                data[index], data[reversed_index] = data[reversed_index], data[index]
+
+        length = 2
+        while length <= self.size:
+            half = length // 2
+            step = self.size // length
+            for start in range(0, self.size, length):
+                for offset in range(half):
+                    twiddle = twiddles[offset * step]
+                    even = data[start + offset]
+                    odd = (data[start + offset + half] * twiddle) % modulus
+                    data[start + offset] = (even + odd) % modulus
+                    data[start + offset + half] = (even - odd) % modulus
+                    self._count_butterfly()
+            length *= 2
+        return data
+
+    def forward(self, values: Sequence[int]) -> List[int]:
+        """Forward NTT (coefficients → evaluations)."""
+        with self.counter.scope("forward"):
+            return self._transform(values, self._twiddles)
+
+    def inverse(self, values: Sequence[int]) -> List[int]:
+        """Inverse NTT (evaluations → coefficients)."""
+        with self.counter.scope("inverse"):
+            transformed = self._transform(values, self._inverse_twiddles)
+            result = []
+            for value in transformed:
+                result.append((value * self.size_inverse) % self.modulus)
+                self.counter.increment("modmul")
+                self.counter.add("memory_access", 2)
+            return result
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def multiply_polynomials(
+        self, a: Sequence[int], b: Sequence[int]
+    ) -> List[int]:
+        """Multiply two polynomials of degree < size/2 via the NTT.
+
+        The product has degree < size, so no wrap-around occurs and the
+        result equals schoolbook polynomial multiplication modulo ``p``.
+        """
+        if len(a) > self.size // 2 or len(b) > self.size // 2:
+            raise NttError(
+                "each input polynomial must have at most size/2 coefficients "
+                f"({self.size // 2}) to avoid cyclic wrap-around"
+            )
+        padded_a = list(a) + [0] * (self.size - len(a))
+        padded_b = list(b) + [0] * (self.size - len(b))
+        eval_a = self.forward(padded_a)
+        eval_b = self.forward(padded_b)
+        pointwise = []
+        for x, y in zip(eval_a, eval_b):
+            pointwise.append((x * y) % self.modulus)
+            self.counter.increment("modmul")
+            self.counter.add("memory_access", 3)
+        return self.inverse(pointwise)

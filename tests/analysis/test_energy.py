@@ -1,0 +1,42 @@
+"""Tests for the beyond-the-paper energy analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.energy import (
+    measure_energy_per_multiplication,
+    reproduce_energy_analysis,
+)
+
+
+class TestEnergyPerMultiplication:
+    def test_small_width_measurement(self):
+        result = measure_energy_per_multiplication(bitwidth=32)
+        assert result.iteration_cycles == 95
+        assert result.energy_per_multiplication_pj > 0
+        assert result.energy_per_bit_pj == pytest.approx(
+            result.energy_per_multiplication_pj / 32
+        )
+
+    def test_breakdown_sums_to_total(self):
+        result = measure_energy_per_multiplication(bitwidth=32)
+        data = result.breakdown.as_dict()
+        assert data["total_pj"] == pytest.approx(
+            data["precharge_pj"]
+            + data["wordline_pj"]
+            + data["sensing_pj"]
+            + data["write_pj"]
+            + data["near_memory_pj"]
+        )
+
+    def test_energy_grows_with_bitwidth(self):
+        small = measure_energy_per_multiplication(bitwidth=32)
+        large = measure_energy_per_multiplication(bitwidth=64)
+        assert large.energy_per_multiplication_pj > 1.5 * small.energy_per_multiplication_pj
+
+    def test_sweep_table(self):
+        results, table = reproduce_energy_analysis(bitwidths=(32, 64))
+        assert len(results) == 2
+        assert "energy/mul" in table
+        assert results[0].bitwidth == 32 and results[1].bitwidth == 64

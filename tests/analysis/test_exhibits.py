@@ -1,0 +1,188 @@
+"""Tests for the per-exhibit reproduction modules (tables, figures, report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    DESIGN_ORDER,
+    build_report,
+    format_value,
+    render_table,
+    reproduce_figure1,
+    reproduce_figure5,
+    reproduce_figure6,
+    reproduce_figure7,
+    reproduce_headline_claims,
+    reproduce_table3,
+    reproduce_tables,
+)
+from repro.core.complexity import PAPER_FIGURE1_BITWIDTHS
+
+
+class TestRendering:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(1234567) == "1,234,567"
+        assert format_value(0.25) == "0.25"
+        assert format_value(1.5e9) == "1.500e+09"
+        assert format_value("text") == "text"
+        assert format_value(0.0) == "0"
+
+    def test_render_table_alignment(self):
+        text = render_table(("a", "bb"), [(1, 2), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+
+class TestTable1:
+    def test_default_reproduction(self):
+        result = reproduce_tables()
+        assert len(result.encoder_rows) == 8
+        assert len(result.radix4_rows) == 5
+        assert len(result.overflow_rows) == 8
+        assert "Table 1a" in result.render()
+        assert "Table 2" in result.render()
+
+    def test_lut_values_are_reduced(self):
+        result = reproduce_tables(multiplicand=12345, modulus=65521)
+        for _, value in result.radix4_rows + result.overflow_rows:
+            assert 0 <= value < 65521
+
+
+class TestFigure1:
+    def test_quick_reproduction_uses_analytic_series(self):
+        result = reproduce_figure1(measure=False)
+        assert result.bitwidths == PAPER_FIGURE1_BITWIDTHS
+        assert result.measured_modsram == result.analytic_series["r4csa-lut"]
+
+    def test_measured_cycles_match_the_formula_at_small_widths(self):
+        result = reproduce_figure1(bitwidths=(8, 16, 32), measure=True)
+        assert result.measured_modsram == [23, 47, 95]
+
+    def test_speedup_over_mentt_grows_with_bitwidth(self):
+        result = reproduce_figure1(measure=False)
+        speedups = result.speedup_over_mentt()
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 80  # 66049 / 767 ≈ 86
+
+    def test_render_contains_every_bitwidth(self):
+        text = reproduce_figure1(measure=False).render()
+        for bitwidth in PAPER_FIGURE1_BITWIDTHS:
+            assert str(bitwidth) in text
+
+    def test_rows_shape(self):
+        result = reproduce_figure1(measure=False)
+        rows = result.rows()
+        assert len(rows) == len(PAPER_FIGURE1_BITWIDTHS)
+        assert len(rows[0]) == 1 + len(result.analytic_series) + 1
+
+
+class TestFigure5:
+    def test_total_and_breakdown_close_to_paper(self):
+        result = reproduce_figure5()
+        assert abs(result.total_error_percent) < 5
+        for component, share in result.breakdown.percentages.items():
+            assert abs(share - result.paper_breakdown_percent[component]) < 2.0
+
+    def test_render_mentions_overhead(self):
+        assert "overhead" in reproduce_figure5().render()
+
+    def test_rows_have_four_components(self):
+        assert len(reproduce_figure5().rows()) == 4
+
+
+class TestFigure6:
+    def test_row_requirements(self):
+        result = reproduce_figure6()
+        assert result.rows_by_design["mentt"] == 1282
+        assert result.rows_by_design["bpntt"] == 6
+        assert result.rows_by_design["modsram"] == 18
+        assert result.modsram_utilization.lut_rows == 13
+        assert result.modsram_array_rows == 64
+
+    def test_mentt_does_not_fit_the_array_modsram_uses(self):
+        """The paper's point: 1282 rows cannot fit a 64-row bank."""
+        result = reproduce_figure6()
+        assert result.rows_by_design["mentt"] > result.modsram_array_rows
+        assert result.rows_by_design["modsram"] <= result.modsram_array_rows
+
+    def test_render(self):
+        text = reproduce_figure6().render()
+        assert "MeNTT" in text and "ModSRAM" in text and "LUT rows" in text
+
+
+class TestFigure7:
+    def test_operating_point_and_ordering(self):
+        result = reproduce_figure7()
+        assert result.vector_size == 2**15
+        assert result.bitwidth == 256
+        ntt = result.ntt.as_dict()
+        msm = result.msm.as_dict()
+        # The qualitative shape of Figure 7: MSM >> NTT in every category,
+        # and register writes dominate memory accesses dominate modmuls.
+        for key in ntt:
+            assert msm[key] > ntt[key]
+        for counts in (ntt, msm):
+            assert (
+                counts["register_writes"]
+                > counts["memory_access"]
+                > counts["modular_multiplication"]
+            )
+
+    def test_rows_cover_both_kernels(self):
+        rows = reproduce_figure7().rows()
+        assert len(rows) == 6
+        assert {row[0] for row in rows} == {"NTT", "MSM"}
+
+    def test_render(self):
+        assert "2^15" in reproduce_figure7().render()
+
+
+class TestTable3:
+    def test_design_order_matches_paper_columns(self):
+        assert DESIGN_ORDER[0] == "modsram"
+        assert len(DESIGN_ORDER) == 6
+
+    def test_cycle_columns(self):
+        result = reproduce_table3()
+        assert result.rows_by_design["modsram"]["cycles"] == 767
+        assert result.rows_by_design["mentt"]["cycles"] == 66049
+        assert result.rows_by_design["bpntt"]["cycles"] == 1465
+        assert result.rows_by_design["rm-ntt"]["cycles"] is None
+
+    def test_cycle_reductions(self):
+        result = reproduce_table3()
+        assert result.cycle_reduction_vs("mentt") > 98.0
+        assert 45.0 < result.best_prior_cycle_reduction() < 50.0
+        assert 50.0 < result.cycle_reduction_vs("bpntt", include_transform=True) < 55.0
+
+    def test_reduction_against_design_without_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            reproduce_table3().cycle_reduction_vs("x-poly")
+
+    def test_render_contains_all_designs(self):
+        text = reproduce_table3().render()
+        for label in ("MeNTT", "BP-NTT", "RM-NTT", "CryptoPIM", "X-Poly", "This work"):
+            assert label in text
+
+    def test_rows_shape(self):
+        rows = reproduce_table3().rows()
+        assert len(rows) == 6
+        assert all(len(row) == 10 for row in rows)
+
+
+class TestHeadlineAndReport:
+    def test_headline_claims_hold_without_measurement(self):
+        result = reproduce_headline_claims(measure=False)
+        assert result.all_hold()
+        assert len(result.claims) == 7
+        assert "767" in result.render()
+
+    def test_quick_report_contains_every_exhibit(self):
+        report = build_report(quick=True)
+        for marker in ("Table 1a", "Figure 1", "Figure 5", "Figure 6", "Figure 7", "Table 3", "Headline"):
+            assert marker in report

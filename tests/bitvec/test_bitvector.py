@@ -1,0 +1,178 @@
+"""Unit and property tests for the fixed-width bit vector."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitvec import BitVector, maj3, xor3
+from repro.errors import BitWidthError
+
+
+class TestConstruction:
+    def test_value_and_width_are_stored(self):
+        vector = BitVector(0b1011, 6)
+        assert vector.value == 0b1011
+        assert vector.width == 6
+        assert len(vector) == 6
+
+    def test_zeros_and_ones(self):
+        assert BitVector.zeros(8).value == 0
+        assert BitVector.ones(8).value == 0xFF
+
+    def test_from_bits_lsb_first(self):
+        vector = BitVector.from_bits([1, 0, 1, 1])
+        assert vector.value == 0b1101
+
+    def test_from_bits_rejects_non_bits(self):
+        with pytest.raises(BitWidthError):
+            BitVector.from_bits([0, 2, 1])
+
+    def test_from_bits_rejects_too_many_bits(self):
+        with pytest.raises(BitWidthError):
+            BitVector.from_bits([1, 1, 1], width=2)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(BitWidthError):
+            BitVector(-1, 4)
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(BitWidthError):
+            BitVector(16, 4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(BitWidthError):
+            BitVector(0, 0)
+
+
+class TestAccessors:
+    def test_bit_indexing(self):
+        vector = BitVector(0b0110, 4)
+        assert [vector.bit(i) for i in range(4)] == [0, 1, 1, 0]
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(BitWidthError):
+            BitVector(0, 4).bit(4)
+
+    def test_bits_round_trip(self):
+        vector = BitVector(0b10110, 5)
+        assert BitVector.from_bits(vector.bits(), 5) == vector
+
+    def test_msb_and_lsb(self):
+        vector = BitVector(0b110101, 6)
+        assert vector.msb() == 1
+        assert vector.msb(3) == 0b110
+        assert vector.lsb() == 1
+        assert vector.lsb(3) == 0b101
+
+    def test_msb_count_validation(self):
+        with pytest.raises(BitWidthError):
+            BitVector(0, 4).msb(5)
+        with pytest.raises(BitWidthError):
+            BitVector(0, 4).lsb(0)
+
+    def test_slice(self):
+        vector = BitVector(0b110101, 6)
+        assert vector.slice(1, 4) == 0b010
+        assert vector.slice(0, 6) == 0b110101
+
+    def test_slice_validation(self):
+        with pytest.raises(BitWidthError):
+            BitVector(0, 4).slice(2, 2)
+
+    def test_popcount(self):
+        assert BitVector(0b10110111, 8).popcount() == 6
+
+    def test_int_and_bool_conversions(self):
+        assert int(BitVector(5, 4)) == 5
+        assert bool(BitVector(0, 4)) is False
+        assert bool(BitVector(1, 4)) is True
+
+    def test_iter_yields_lsb_first(self):
+        assert list(BitVector(0b011, 3)) == [1, 1, 0]
+
+
+class TestOperations:
+    def test_shift_left_returns_overflow(self):
+        vector = BitVector(0b1101, 4)
+        shifted, overflow = vector.shift_left(2)
+        assert shifted.value == 0b0100
+        assert overflow == 0b11
+
+    def test_shift_left_zero_amount(self):
+        vector = BitVector(0b1101, 4)
+        shifted, overflow = vector.shift_left(0)
+        assert shifted == vector
+        assert overflow == 0
+
+    def test_shift_left_negative_amount_rejected(self):
+        with pytest.raises(BitWidthError):
+            BitVector(1, 4).shift_left(-1)
+
+    def test_shift_right_returns_dropped_bits(self):
+        shifted, dropped = BitVector(0b1011, 4).shift_right(2)
+        assert shifted.value == 0b10
+        assert dropped == 0b11
+
+    def test_bitwise_operators(self):
+        a = BitVector(0b1100, 4)
+        b = BitVector(0b1010, 4)
+        assert (a ^ b).value == 0b0110
+        assert (a & b).value == 0b1000
+        assert (a | b).value == 0b1110
+        assert (~a).value == 0b0011
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(BitWidthError):
+            BitVector(1, 4) ^ BitVector(1, 5)
+
+    def test_add_wraps_within_width(self):
+        assert (BitVector(0b1111, 4) + 1).value == 0
+
+    def test_add_with_carry(self):
+        total, carry = BitVector(0b1111, 4).add_with_carry(0b0001)
+        assert total.value == 0
+        assert carry == 1
+
+    def test_resized_truncates_and_extends(self):
+        vector = BitVector(0b1101, 4)
+        assert vector.resized(2).value == 0b01
+        assert vector.resized(8).value == 0b1101
+
+    def test_rendering(self):
+        vector = BitVector(0b101, 5)
+        assert str(vector) == "5'b00101"
+        assert vector.to_binary(group=2) == "0_01_01"
+        assert "0x5" in repr(vector)
+
+
+class TestLogicHelpers:
+    def test_xor3_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    assert xor3(a, b, c) == (a + b + c) % 2
+
+    def test_maj3_truth_table(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    assert maj3(a, b, c) == (1 if a + b + c >= 2 else 0)
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    def test_csa_identity(self, a, b, c):
+        """XOR3 plus shifted MAJ equals the arithmetic sum (the CSA identity)."""
+        assert xor3(a, b, c) + (maj3(a, b, c) << 1) == a + b + c
+
+
+class TestShiftProperties:
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 6))
+    def test_shift_left_preserves_value(self, value, amount):
+        vector = BitVector(value, 32)
+        shifted, overflow = vector.shift_left(amount)
+        assert shifted.value + (overflow << 32) == value << amount
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_add_with_carry_is_exact(self, a, b):
+        total, carry = BitVector(a, 32).add_with_carry(b)
+        assert total.value + (carry << 32) == a + b

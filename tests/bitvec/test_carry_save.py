@@ -1,0 +1,80 @@
+"""Unit and property tests for the carry-save (redundant) value."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitvec import BitVector, CarrySaveValue, csa_step
+from repro.errors import BitWidthError
+
+WIDTH = 16
+word = st.integers(0, (1 << WIDTH) - 1)
+
+
+class TestConstruction:
+    def test_zero(self):
+        value = CarrySaveValue.zero(8)
+        assert value.resolve() == 0
+        assert value.width == 8
+
+    def test_from_int_puts_value_in_sum_word(self):
+        value = CarrySaveValue.from_int(37, 8)
+        assert value.sum_word.value == 37
+        assert value.carry_word.value == 0
+        assert int(value) == 37
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(BitWidthError):
+            CarrySaveValue(BitVector(0, 4), BitVector(0, 5))
+
+
+class TestCsaStep:
+    @given(word, word, word)
+    def test_unconstrained_step_preserves_sum(self, a, b, c):
+        new_sum, new_carry = csa_step(a, b, c)
+        assert new_sum + new_carry == a + b + c
+
+
+class TestShift:
+    @given(word, word, st.integers(0, 3))
+    def test_shift_preserves_value_with_overflow(self, s, c, amount):
+        value = CarrySaveValue(BitVector(s, WIDTH), BitVector(c, WIDTH))
+        shifted, sum_overflow, carry_overflow = value.shifted_left(amount)
+        reconstructed = shifted.resolve() + ((sum_overflow + carry_overflow) << WIDTH)
+        assert reconstructed == (s + c) << amount
+
+    def test_shift_by_two_overflow_fields_are_two_bits(self):
+        value = CarrySaveValue(
+            BitVector((1 << WIDTH) - 1, WIDTH), BitVector((1 << WIDTH) - 1, WIDTH)
+        )
+        _, sum_overflow, carry_overflow = value.shifted_left(2)
+        assert sum_overflow == 0b11
+        assert carry_overflow == 0b11
+
+
+class TestAdd:
+    @given(word, word, word)
+    def test_add_preserves_value_with_escape(self, s, c, addend):
+        value = CarrySaveValue(BitVector(s, WIDTH), BitVector(c, WIDTH))
+        added, escaped = value.add(addend)
+        assert added.resolve() + (escaped << WIDTH) == s + c + addend
+
+    @given(word, word, word)
+    def test_escape_is_a_single_bit(self, s, c, addend):
+        value = CarrySaveValue(BitVector(s, WIDTH), BitVector(c, WIDTH))
+        _, escaped = value.add(addend)
+        assert escaped in (0, 1)
+
+    def test_add_rejects_oversized_addend(self):
+        value = CarrySaveValue.zero(8)
+        with pytest.raises(BitWidthError):
+            value.add(1 << 8)
+
+    def test_add_rejects_negative_addend(self):
+        with pytest.raises(BitWidthError):
+            CarrySaveValue.zero(8).add(-1)
+
+    def test_string_rendering_mentions_both_words(self):
+        text = str(CarrySaveValue.from_int(5, 4))
+        assert "sum=" in text and "carry=" in text

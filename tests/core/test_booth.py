@@ -1,0 +1,143 @@
+"""Tests for the radix-4 / radix-8 Booth encoders (Table 1a)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.booth import (
+    RADIX4_ENCODER_TABLE,
+    RADIX8_ENCODER_TABLE,
+    booth_digit_count,
+    booth_digit_radix4,
+    booth_digits_radix4,
+    booth_digits_radix8,
+    encoder_truth_table,
+)
+from repro.errors import BitWidthError, OperandRangeError
+
+
+class TestEncoderTable:
+    def test_paper_table_1a_values(self):
+        """The encoder matches Table 1a of the paper row by row."""
+        expected = {
+            (0, 0, 0): 0,
+            (0, 0, 1): +1,
+            (0, 1, 0): +1,
+            (0, 1, 1): +2,
+            (1, 0, 0): -2,
+            (1, 0, 1): -1,
+            (1, 1, 0): -1,
+            (1, 1, 1): 0,
+        }
+        assert RADIX4_ENCODER_TABLE == expected
+
+    def test_encoder_function_matches_table(self):
+        for (high, mid, low), digit in RADIX4_ENCODER_TABLE.items():
+            assert booth_digit_radix4(high, mid, low) == digit
+
+    def test_encoder_is_the_booth_identity(self):
+        """digit == a_{i-1} + a_i - 2*a_{i+1} for every input combination."""
+        for (high, mid, low), digit in RADIX4_ENCODER_TABLE.items():
+            assert digit == low + mid - 2 * high
+
+    def test_encoder_rejects_non_bits(self):
+        with pytest.raises(OperandRangeError):
+            booth_digit_radix4(2, 0, 0)
+
+    def test_truth_table_export_has_eight_sorted_rows(self):
+        rows = encoder_truth_table()
+        assert len(rows) == 8
+        assert rows[0] == (0, 0, 0, 0)
+        assert rows[-1] == (1, 1, 1, 0)
+
+    def test_radix8_table_covers_all_sixteen_inputs(self):
+        assert len(RADIX8_ENCODER_TABLE) == 16
+        assert set(RADIX8_ENCODER_TABLE.values()) == {-4, -3, -2, -1, 0, 1, 2, 3, 4}
+
+
+class TestDigitCount:
+    def test_paper_iteration_count_at_256_bits(self):
+        assert booth_digit_count(256, full_range=False) == 128
+        assert booth_digit_count(256, full_range=True) == 129
+
+    def test_odd_bitwidth_needs_no_extra_digit(self):
+        assert booth_digit_count(255, full_range=True) == 128
+        assert booth_digit_count(255, full_range=False) == 128
+
+    def test_invalid_bitwidth(self):
+        with pytest.raises(BitWidthError):
+            booth_digit_count(0)
+
+
+class TestRadix4Digits:
+    def test_digits_are_most_significant_first(self):
+        digits = booth_digits_radix4(0b0110, 4, full_range=False)
+        # 6 = 2*4 - 2: digits (MSB first) are [+2, -2].
+        assert digits == [2, -2]
+
+    def test_known_small_value(self):
+        # 0b1010 = 10; with full_range the expansion uses 3 digits.
+        digits = booth_digits_radix4(10, 4, full_range=True)
+        value = 0
+        for digit in digits:
+            value = value * 4 + digit
+        assert value == 10
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_expansion_reconstructs_value_full_range(self, value):
+        digits = booth_digits_radix4(value, 64, full_range=True)
+        reconstructed = 0
+        for digit in digits:
+            reconstructed = reconstructed * 4 + digit
+        assert reconstructed == value
+
+    @given(st.integers(0, 2**63 - 1))
+    def test_expansion_reconstructs_value_paper_mode(self, value):
+        """With the top bit clear the paper's n/2 digit count is exact."""
+        digits = booth_digits_radix4(value, 64, full_range=False)
+        assert len(digits) == 32
+        reconstructed = 0
+        for digit in digits:
+            reconstructed = reconstructed * 4 + digit
+        assert reconstructed == value
+
+    @given(st.integers(0, 2**64 - 1))
+    def test_digits_are_valid_booth_digits(self, value):
+        for digit in booth_digits_radix4(value, 64):
+            assert digit in (-2, -1, 0, 1, 2)
+
+    def test_paper_mode_rejects_top_bit_set(self):
+        with pytest.raises(OperandRangeError):
+            booth_digits_radix4(1 << 63, 64, full_range=False)
+
+    def test_value_outside_bitwidth_rejected(self):
+        with pytest.raises(BitWidthError):
+            booth_digits_radix4(1 << 8, 8)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(OperandRangeError):
+            booth_digits_radix4(-1, 8)
+
+    def test_zero_expansion(self):
+        assert all(d == 0 for d in booth_digits_radix4(0, 16))
+
+
+class TestRadix8Digits:
+    @given(st.integers(0, 2**48 - 1))
+    def test_expansion_reconstructs_value(self, value):
+        digits = booth_digits_radix8(value, 48)
+        reconstructed = 0
+        for digit in digits:
+            reconstructed = reconstructed * 8 + digit
+        assert reconstructed == value
+
+    def test_digit_range(self):
+        for digit in booth_digits_radix8(0xDEADBEEF, 32):
+            assert -4 <= digit <= 4
+
+    def test_radix8_uses_fewer_digits_than_radix4(self):
+        value = (1 << 62) - 12345
+        assert len(booth_digits_radix8(value, 64)) < len(
+            booth_digits_radix4(value, 64)
+        )

@@ -1,0 +1,81 @@
+"""Tests for the analytic cycle-complexity models behind Figure 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.complexity import (
+    COMPLEXITY_MODELS,
+    PAPER_FIGURE1_BITWIDTHS,
+    complexity_sweep,
+    cycles_csa_interleaved,
+    cycles_interleaved,
+    cycles_mentt_bit_serial,
+    cycles_mentt_projected,
+    cycles_r4csa_lut,
+    cycles_radix4_interleaved,
+)
+from repro.errors import OperandRangeError
+
+
+class TestPaperNumbers:
+    def test_mentt_at_256_bits_matches_table3(self):
+        assert cycles_mentt_bit_serial(256) == 66049
+
+    def test_r4csa_at_256_bits_matches_table3(self):
+        assert cycles_r4csa_lut(256) == 767
+
+    def test_paper_figure_bitwidths(self):
+        assert PAPER_FIGURE1_BITWIDTHS == (8, 16, 32, 64, 128, 256)
+
+    def test_our_algorithm_is_linear(self):
+        assert cycles_r4csa_lut(512) == 2 * cycles_r4csa_lut(256) + 1
+
+    def test_mentt_is_quadratic(self):
+        ratio = cycles_mentt_bit_serial(256) / cycles_mentt_bit_serial(128)
+        assert 3.9 < ratio < 4.1
+
+    def test_ordering_between_curves(self):
+        """At every plotted bitwidth: ours < projected MeNTT < MeNTT."""
+        for bitwidth in PAPER_FIGURE1_BITWIDTHS:
+            assert (
+                cycles_r4csa_lut(bitwidth)
+                < cycles_mentt_projected(bitwidth)
+                < cycles_mentt_bit_serial(bitwidth)
+            )
+
+    def test_radix4_halves_interleaved_iterations(self):
+        assert cycles_radix4_interleaved(256) < cycles_interleaved(256) / 2
+
+    def test_csa_interleaved_between_interleaved_and_ours(self):
+        assert cycles_r4csa_lut(256) < cycles_csa_interleaved(256) <= cycles_interleaved(256)
+
+
+class TestSweep:
+    def test_default_sweep_contains_the_figure_curves(self):
+        sweep = complexity_sweep()
+        assert set(sweep) == {"mentt", "mentt-projected", "r4csa-lut"}
+        for series in sweep.values():
+            assert len(series) == len(PAPER_FIGURE1_BITWIDTHS)
+
+    def test_sweep_with_explicit_models(self):
+        sweep = complexity_sweep(bitwidths=(16, 32), keys=("interleaved", "r4csa-lut"))
+        assert sweep["interleaved"] == [96, 192]
+        assert sweep["r4csa-lut"] == [47, 95]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(OperandRangeError):
+            complexity_sweep(keys=("nope",))
+
+    def test_models_declare_their_order(self):
+        assert COMPLEXITY_MODELS["mentt"].order == "O(n^2)"
+        assert COMPLEXITY_MODELS["r4csa-lut"].order == "O(n)"
+
+    def test_every_model_rejects_non_positive_bitwidth(self):
+        for model in COMPLEXITY_MODELS.values():
+            with pytest.raises(OperandRangeError):
+                model.cycles(0)
+
+    def test_model_sweep_method(self):
+        model = COMPLEXITY_MODELS["r4csa-lut"]
+        assert model.sweep((8, 16)) == [23, 47]

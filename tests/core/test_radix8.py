@@ -1,0 +1,78 @@
+"""Tests for the radix-8 Booth interleaved multiplier (background extension)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithms import Radix8InterleavedMultiplier, build_radix8_lut
+from repro.errors import ModulusError, OperandRangeError
+
+BN254_P = 0x30644E72E131A029B85045B68181585D97816A916871CA8D3C208C16D87CFD47
+
+
+class TestRadix8Lut:
+    def test_nine_entries(self):
+        lut = build_radix8_lut(33, 97)
+        assert sorted(lut) == list(range(-4, 5))
+
+    def test_entries_are_reduced_residues(self):
+        lut = build_radix8_lut(33, 97)
+        for digit, value in lut.items():
+            assert 0 <= value < 97
+            assert value == (digit * 33) % 97
+
+    def test_validation(self):
+        with pytest.raises(ModulusError):
+            build_radix8_lut(0, 2)
+        with pytest.raises(OperandRangeError):
+            build_radix8_lut(97, 97)
+
+
+class TestRadix8Multiplier:
+    def test_small_known_values(self):
+        multiplier = Radix8InterleavedMultiplier()
+        assert multiplier.multiply(7, 9, 11) == 63 % 11
+        assert multiplier.multiply(96, 96, 97) == 1
+
+    @given(modulus=st.integers(3, 2**64 - 1).map(lambda v: v | 1), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_oracle(self, modulus, data):
+        a = data.draw(st.integers(0, modulus - 1))
+        b = data.draw(st.integers(0, modulus - 1))
+        multiplier = Radix8InterleavedMultiplier()
+        assert multiplier.multiply(a, b, modulus) == (a * b) % modulus
+
+    def test_curve_sized_operands(self, rng):
+        multiplier = Radix8InterleavedMultiplier()
+        for _ in range(5):
+            a, b = rng.randrange(BN254_P), rng.randrange(BN254_P)
+            assert multiplier.multiply(a, b, BN254_P) == (a * b) % BN254_P
+
+    def test_one_third_fewer_iterations_than_radix4(self, rng):
+        from repro.core.algorithms import Radix4InterleavedMultiplier
+
+        radix8 = Radix8InterleavedMultiplier()
+        radix4 = Radix4InterleavedMultiplier()
+        a, b = rng.randrange(BN254_P), rng.randrange(BN254_P)
+        radix8.multiply(a, b, BN254_P)
+        radix4.multiply(a, b, BN254_P)
+        ratio = radix4.stats.iterations / radix8.stats.iterations
+        assert 1.4 < ratio < 1.6
+
+    def test_cycle_model_below_radix4(self):
+        from repro.core.algorithms import Radix4InterleavedMultiplier
+
+        assert (
+            Radix8InterleavedMultiplier().cycles(256)
+            < Radix4InterleavedMultiplier().cycles(256)
+        )
+
+    def test_lut_rows_tradeoff(self):
+        """The radix-8 LUT needs nine word lines versus five for radix-4."""
+        assert Radix8InterleavedMultiplier().lut_rows() == 9
+
+    def test_registered(self):
+        from repro.core import available_multipliers
+
+        assert "radix8-interleaved" in available_multipliers()

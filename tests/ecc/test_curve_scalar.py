@@ -1,0 +1,192 @@
+"""Tests for curve construction, the group law and scalar multiplication."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc import (
+    AffinePoint,
+    CURVE_SPECS,
+    PrimeField,
+    build_curve,
+    get_curve,
+    montgomery_ladder,
+    scalar_multiply,
+    scalar_multiply_wnaf,
+    wnaf_digits,
+)
+from repro.ecc.curve import EllipticCurve
+from repro.errors import CurveError, OperandRangeError
+
+SECP256K1_2G = (
+    0xC6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5,
+    0x1AE168FEA63DC339A3C58419466CEAEEF7F632653266D0E1236431A950CFE52A,
+)
+
+
+@pytest.fixture(scope="module")
+def secp():
+    return get_curve("secp256k1")
+
+
+@pytest.fixture(scope="module")
+def bn254():
+    return get_curve("bn254")
+
+
+class TestCurveDatabase:
+    def test_known_curves_present(self):
+        assert set(CURVE_SPECS) == {"secp256k1", "bn254", "p256"}
+
+    def test_bitwidths(self):
+        assert CURVE_SPECS["secp256k1"].bitwidth == 256
+        assert CURVE_SPECS["bn254"].bitwidth == 254
+        assert CURVE_SPECS["p256"].bitwidth == 256
+
+    def test_generators_satisfy_curve_equations(self):
+        for name in CURVE_SPECS:
+            curve = get_curve(name)
+            assert curve.contains(curve.generator)
+
+    def test_generators_have_the_stated_order(self):
+        for name in CURVE_SPECS:
+            curve = get_curve(name)
+            spec = CURVE_SPECS[name]
+            assert scalar_multiply(curve, spec.order, curve.generator).is_infinity
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(CurveError):
+            get_curve("curve25519")
+
+    def test_case_insensitive_lookup(self):
+        assert get_curve("BN254").name == "bn254"
+
+    def test_build_curve_field_mismatch_rejected(self):
+        with pytest.raises(CurveError):
+            build_curve(CURVE_SPECS["bn254"], field=PrimeField(97))
+
+    def test_curves_registry_mapping(self):
+        from repro.ecc import CURVES
+
+        assert "bn254" in CURVES
+        assert CURVES["bn254"].field_modulus == CURVE_SPECS["bn254"].field_modulus
+        assert sorted(CURVES.keys()) == sorted(CURVE_SPECS.keys())
+        with pytest.raises(CurveError):
+            CURVES["nope"]
+
+
+class TestGroupLaw:
+    def test_known_point_doubling(self, secp):
+        doubled = secp.double(secp.generator)
+        assert doubled.coordinates() == SECP256K1_2G
+
+    def test_addition_is_commutative(self, secp):
+        g = secp.generator
+        two_g = secp.double(g)
+        three_g_a = secp.add(g, two_g)
+        three_g_b = secp.add(two_g, g)
+        assert three_g_a == three_g_b
+
+    def test_identity_element(self, secp):
+        g = secp.generator
+        assert secp.add(g, secp.infinity()) == g
+        assert secp.add(secp.infinity(), g) == g
+
+    def test_inverse_element(self, secp):
+        g = secp.generator
+        assert secp.add(g, secp.negate(g)).is_infinity
+
+    def test_double_equals_add_to_itself(self, secp):
+        g = secp.generator
+        assert secp.double(g) == secp.add(g, g)
+
+    def test_point_validation(self, secp):
+        with pytest.raises(CurveError):
+            secp.affine_point(1, 1)
+
+    def test_infinity_has_no_coordinates(self):
+        with pytest.raises(CurveError):
+            AffinePoint.infinity().coordinates()
+
+    def test_jacobian_round_trip(self, secp):
+        g = secp.generator
+        assert secp.to_affine(secp.to_jacobian(g)) == g
+        assert secp.to_affine(secp.to_jacobian(secp.infinity())).is_infinity
+
+    def test_mixed_addition_matches_general_addition(self, secp, rng):
+        g = secp.generator
+        p = scalar_multiply(curve=secp, scalar=rng.randrange(3, 1 << 64), point=g)
+        q = scalar_multiply(curve=secp, scalar=rng.randrange(3, 1 << 64), point=g)
+        general = secp.jacobian_add(secp.to_jacobian(p), secp.to_jacobian(q))
+        mixed = secp.jacobian_add_mixed(secp.to_jacobian(p), q)
+        assert secp.to_affine(general) == secp.to_affine(mixed)
+
+    def test_singular_curve_rejected(self):
+        with pytest.raises(CurveError):
+            EllipticCurve("bad", PrimeField(97), a=0, b=0)
+
+    def test_curve_without_generator(self):
+        curve = EllipticCurve("nameless", PrimeField(97), a=2, b=3)
+        with pytest.raises(CurveError):
+            _ = curve.generator
+
+    def test_associativity_small_sample(self, secp):
+        g = secp.generator
+        p2 = secp.double(g)
+        p3 = secp.add(p2, g)
+        assert secp.add(secp.add(g, p2), p3) == secp.add(g, secp.add(p2, p3))
+
+    def test_nist_curve_with_nonzero_a(self):
+        p256 = get_curve("p256")
+        doubled = p256.double(p256.generator)
+        assert p256.contains(doubled)
+
+
+class TestScalarMultiplication:
+    def test_small_multiples(self, secp):
+        g = secp.generator
+        accumulated = secp.infinity()
+        for k in range(1, 8):
+            accumulated = secp.add(accumulated, g)
+            assert scalar_multiply(secp, k, g) == accumulated
+
+    def test_zero_scalar(self, secp):
+        assert scalar_multiply(secp, 0, secp.generator).is_infinity
+
+    def test_negative_scalar_rejected(self, secp):
+        with pytest.raises(OperandRangeError):
+            scalar_multiply(secp, -1, secp.generator)
+
+    @given(st.integers(1, 2**128 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_algorithms_agree(self, scalar):
+        curve = get_curve("secp256k1")
+        g = curve.generator
+        expected = scalar_multiply(curve, scalar, g)
+        assert scalar_multiply_wnaf(curve, scalar, g) == expected
+        assert montgomery_ladder(curve, scalar, g) == expected
+
+    def test_distributivity_over_scalars(self, bn254, rng):
+        g = bn254.generator
+        k1 = rng.randrange(1, 1 << 64)
+        k2 = rng.randrange(1, 1 << 64)
+        left = scalar_multiply(bn254, k1 + k2, g)
+        right = bn254.add(scalar_multiply(bn254, k1, g), scalar_multiply(bn254, k2, g))
+        assert left == right
+
+    def test_wnaf_digit_properties(self):
+        for scalar in (1, 2, 255, 0xDEADBEEF, (1 << 96) - 7):
+            digits = wnaf_digits(scalar, 4)
+            reconstructed = sum(d << i for i, d in enumerate(digits))
+            assert reconstructed == scalar
+            for digit in digits:
+                assert digit == 0 or (digit % 2 == 1 and abs(digit) < 8)
+
+    def test_wnaf_width_validated(self):
+        with pytest.raises(OperandRangeError):
+            wnaf_digits(5, 1)
+
+    def test_wnaf_scalar_validated(self):
+        with pytest.raises(OperandRangeError):
+            wnaf_digits(-5, 4)

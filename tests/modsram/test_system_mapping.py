@@ -1,0 +1,133 @@
+"""Tests for the system-level macro-pool model and the ZKP kernel mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, OperandRangeError
+from repro.modsram import ModSRAMConfig, ModSRAMSystem, PAPER_CONFIG, Workload
+from repro.zkp import (
+    map_zkp_kernels,
+    msm_workload,
+    ntt_distinct_twiddle_multiplications,
+    ntt_operation_counts,
+    ntt_workload,
+)
+
+
+class TestWorkload:
+    def test_defaults_are_conservative(self):
+        workload = Workload(name="w", multiplications=100)
+        assert workload.effective_multiplicand_changes == 100
+
+    def test_explicit_reuse(self):
+        workload = Workload(name="w", multiplications=100, multiplicand_changes=7)
+        assert workload.effective_multiplicand_changes == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Workload(name="w", multiplications=-1)
+        with pytest.raises(ConfigurationError):
+            Workload(name="w", multiplications=10, multiplicand_changes=11)
+
+
+class TestModSRAMSystem:
+    def test_single_macro_projection(self):
+        system = ModSRAMSystem(1)
+        workload = Workload(name="batch", multiplications=1000, multiplicand_changes=1)
+        projection = system.project(workload)
+        assert projection.cycles_per_multiplication == 767
+        assert projection.total_cycles_per_macro == 1000 * 767 + ModSRAMSystem.LUT_REFILL_CYCLES
+        assert projection.latency_ms == pytest.approx(
+            projection.total_cycles_per_macro / (PAPER_CONFIG.frequency_mhz * 1e3)
+        )
+        assert projection.throughput_mops > 0
+        assert projection.area_mm2 == pytest.approx(0.052, abs=0.003)
+
+    def test_macro_count_scales_throughput(self):
+        workload = Workload(name="batch", multiplications=10000, multiplicand_changes=0)
+        one = ModSRAMSystem(1).project(workload)
+        eight = ModSRAMSystem(8).project(workload)
+        assert eight.latency_ms < one.latency_ms / 7.5
+        assert eight.throughput_mops > 7.5 * one.throughput_mops
+        assert eight.area_mm2 == pytest.approx(8 * one.area_mm2)
+
+    def test_empty_workload(self):
+        projection = ModSRAMSystem(4).project(Workload(name="idle", multiplications=0))
+        assert projection.latency_ms == 0.0
+        assert projection.throughput_mops == 0.0
+
+    def test_avoided_traffic_scales_with_multiplications(self):
+        workload = Workload(name="batch", multiplications=1000)
+        projection = ModSRAMSystem(2).project(workload)
+        assert projection.avoided_register_writes == 1000 * 20
+        assert projection.avoided_memory_accesses == 1000 * 5
+
+    def test_bitwidth_mismatch_rejected(self):
+        system = ModSRAMSystem(1, ModSRAMConfig().with_bitwidth(128))
+        with pytest.raises(ConfigurationError):
+            system.project(Workload(name="w", multiplications=1, bitwidth=256))
+
+    def test_macros_for_latency(self):
+        workload = Workload(name="batch", multiplications=100000, multiplicand_changes=0)
+        single_latency = ModSRAMSystem(1).project(workload).latency_ms
+        needed = ModSRAMSystem(1).macros_for_latency(workload, single_latency / 10)
+        assert needed >= 10
+        assert ModSRAMSystem(needed).project(workload).latency_ms <= single_latency / 10
+        assert ModSRAMSystem(1).macros_for_latency(workload, single_latency * 2) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ModSRAMSystem(0)
+        with pytest.raises(ConfigurationError):
+            ModSRAMSystem(1).macros_for_latency(
+                Workload(name="w", multiplications=1), 0
+            )
+
+    def test_projection_as_dict(self):
+        projection = ModSRAMSystem(1).project(Workload(name="w", multiplications=10))
+        data = projection.as_dict()
+        assert data["macros"] == 1
+        assert data["cycles_per_multiplication"] == 767
+
+
+class TestZkpKernelMapping:
+    def test_ntt_twiddle_reuse_count(self):
+        assert ntt_distinct_twiddle_multiplications(8) == 7
+        assert ntt_distinct_twiddle_multiplications(2**15) == 2**15 - 1
+        with pytest.raises(OperandRangeError):
+            ntt_distinct_twiddle_multiplications(12)
+
+    def test_ntt_workload_reuses_luts(self):
+        workload = ntt_workload(1024, 256)
+        counts = ntt_operation_counts(1024, 256)
+        assert workload.multiplications == counts.modular_multiplications
+        assert workload.multiplicand_changes == 1023
+        # Reuse is substantial: far fewer refills than multiplications.
+        assert workload.multiplicand_changes < workload.multiplications / 4
+
+    def test_msm_workload_has_no_reuse(self):
+        workload = msm_workload(1024, 256, window_bits=8)
+        assert workload.multiplicand_changes is None
+        assert workload.name == "msm-2^10"
+
+    def test_paper_operating_point_mapping(self):
+        mapping = map_zkp_kernels(vector_size=2**15, macros=16)
+        assert mapping.macros == 16
+        assert mapping.ntt.workload.name == "ntt-2^15"
+        # The MSM dominates: orders of magnitude more work than the NTT.
+        assert mapping.msm.total_cycles_per_macro > 50 * mapping.ntt.total_cycles_per_macro
+        assert mapping.msm.latency_ms > mapping.ntt.latency_ms
+        rows = mapping.as_rows()
+        assert len(rows) == 2 and rows[0][0].startswith("ntt")
+
+    def test_ntt_latency_benefits_from_lut_reuse(self):
+        """Twiddle-aware scheduling beats the no-reuse assumption."""
+        reuse_aware = ModSRAMSystem(1).project(ntt_workload(4096, 256))
+        no_reuse = ModSRAMSystem(1).project(
+            Workload(
+                name="ntt-no-reuse",
+                multiplications=ntt_operation_counts(4096, 256).modular_multiplications,
+            )
+        )
+        assert reuse_aware.total_cycles_per_macro < no_reuse.total_cycles_per_macro

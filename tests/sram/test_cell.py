@@ -1,0 +1,66 @@
+"""Tests for the 6T / 8T SRAM cell models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram import EightTransistorCell, SixTransistorCell, make_cell
+
+
+class TestCellStructure:
+    def test_transistor_counts(self):
+        assert SixTransistorCell.transistor_count == 6
+        assert EightTransistorCell.transistor_count == 8
+
+    def test_8t_has_separate_read_port(self):
+        assert not EightTransistorCell.shared_read_write_port
+        assert SixTransistorCell.shared_read_write_port
+
+    def test_8t_supports_three_row_activation(self):
+        """The logic-SA scheme needs three simultaneously activated rows."""
+        assert EightTransistorCell.max_simultaneous_reads >= 3
+        assert SixTransistorCell.max_simultaneous_reads == 1
+
+    def test_8t_is_larger_than_6t(self):
+        assert EightTransistorCell.area_um2 > SixTransistorCell.area_um2
+
+
+class TestDisturbRisk:
+    def test_6t_multi_row_read_is_risky(self):
+        assert SixTransistorCell.disturb_risk(2)
+        assert SixTransistorCell.disturb_risk(3)
+        assert not SixTransistorCell.disturb_risk(1)
+
+    def test_8t_tolerates_three_rows(self):
+        assert not EightTransistorCell.disturb_risk(3)
+        assert EightTransistorCell.disturb_risk(4)
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EightTransistorCell.disturb_risk(0)
+
+
+class TestArea:
+    def test_array_area_scales_with_geometry(self):
+        single = EightTransistorCell.area_for(1, 1)
+        assert EightTransistorCell.area_for(64, 256) == pytest.approx(single * 64 * 256)
+
+    def test_paper_array_area_is_two_thirds_of_macro(self):
+        """64 x 256 8T cells come to roughly 0.035 mm^2 (67% of 0.053)."""
+        area_mm2 = EightTransistorCell.area_for(64, 256) * 1e-6
+        assert 0.032 < area_mm2 < 0.038
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EightTransistorCell.area_for(0, 10)
+
+
+class TestFactory:
+    def test_make_cell_by_name(self):
+        assert make_cell("8T") is EightTransistorCell
+        assert make_cell("6t") is SixTransistorCell
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cell("10T")

@@ -1,0 +1,84 @@
+"""Tests for the Monte-Carlo sensing-robustness analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram import LogicSenseAmpModule, MonteCarloSenseAnalysis, SenseAmpParameters
+
+
+class TestColumnTrials:
+    def test_no_noise_means_no_errors(self):
+        analysis = MonteCarloSenseAnalysis(seed=1)
+        result = analysis.column_trials(0.0, trials=500)
+        assert result.level_errors == 0
+        assert result.level_error_rate == 0.0
+        assert result.logic_error_rate == 0.0
+
+    def test_small_noise_is_harmless(self):
+        analysis = MonteCarloSenseAnalysis(seed=2)
+        result = analysis.column_trials(0.005, trials=2000)
+        assert result.level_error_rate < 1e-3
+
+    def test_large_noise_breaks_sensing(self):
+        analysis = MonteCarloSenseAnalysis(seed=3)
+        result = analysis.column_trials(0.08, trials=2000)
+        assert result.level_error_rate > 0.05
+        assert result.logic_error_rate > 0.01
+
+    def test_error_rate_is_monotonic_in_noise(self):
+        analysis = MonteCarloSenseAnalysis(seed=4)
+        sweep = analysis.noise_sweep(sigmas_v=(0.01, 0.03, 0.06), trials=3000)
+        rates = [sweep[sigma].level_error_rate for sigma in (0.01, 0.03, 0.06)]
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_monte_carlo_agrees_with_analytic_model_in_order_of_magnitude(self):
+        """The MC estimate and the erfc-based model agree at moderate noise."""
+        sigma = 0.045
+        analysis = MonteCarloSenseAnalysis(seed=5)
+        measured = analysis.column_trials(sigma, trials=20000).level_error_rate
+        module = LogicSenseAmpModule(columns=1, parameters=SenseAmpParameters())
+        # The Monte-Carlo model perturbs both the bitline and each reference,
+        # so the effective per-comparison noise is sqrt(2) * sigma; a column
+        # makes up to three comparisons.
+        per_comparison = module.failure_probability(sigma * 2**0.5)
+        assert measured <= 3 * per_comparison
+        assert measured >= per_comparison / 3
+
+    def test_validation(self):
+        analysis = MonteCarloSenseAnalysis()
+        with pytest.raises(ConfigurationError):
+            analysis.column_trials(0.01, trials=0)
+        with pytest.raises(ConfigurationError):
+            analysis.column_trials(-0.01, trials=10)
+
+
+class TestDerivedFigures:
+    def test_multiplication_failure_probability(self):
+        analysis = MonteCarloSenseAnalysis()
+        # 256 columns, 256 logic-SA accesses (two per iteration at 128 iters).
+        probability = analysis.multiplication_failure_probability(1e-6, 256, 256)
+        assert 0.05 < probability < 0.08  # ~ 1 - exp(-0.0655)
+
+    def test_zero_error_rate_means_zero_failure(self):
+        analysis = MonteCarloSenseAnalysis()
+        assert analysis.multiplication_failure_probability(0.0, 256, 256) == 0.0
+
+    def test_tolerable_error_rate_inverts_the_failure_model(self):
+        analysis = MonteCarloSenseAnalysis()
+        target = 1e-9
+        tolerable = analysis.maximum_tolerable_column_error_rate(256, 256, target)
+        reconstructed = analysis.multiplication_failure_probability(tolerable, 256, 256)
+        # Round-tripping probabilities this small loses a little precision to
+        # floating point; a few percent is plenty for a sizing guideline.
+        assert reconstructed == pytest.approx(target, rel=0.05)
+
+    def test_validation(self):
+        analysis = MonteCarloSenseAnalysis()
+        with pytest.raises(ConfigurationError):
+            analysis.multiplication_failure_probability(2.0, 256, 256)
+        with pytest.raises(ConfigurationError):
+            analysis.multiplication_failure_probability(0.1, 0, 256)
+        with pytest.raises(ConfigurationError):
+            analysis.maximum_tolerable_column_error_rate(256, 256, 1.5)
