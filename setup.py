@@ -1,10 +1,37 @@
-"""Setuptools shim.
+"""Package metadata for the ModSRAM (DAC 2024) reproduction library.
 
-The canonical metadata lives in ``pyproject.toml``; this file exists so that
-editable installs keep working on environments whose setuptools predates
-PEP 660 editable-wheel support (no ``wheel`` package available offline).
+No ``pyproject.toml`` is used so that editable installs keep working on
+environments whose setuptools predates PEP 660 editable-wheel support
+(no ``wheel`` package available offline).  The library is pure Python with
+no runtime dependencies.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="modsram-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'ModSRAM: Algorithm-Hardware Co-Design for Large "
+        "Number Modular Multiplication in SRAM' (DAC 2024): R4CSA-LUT, a "
+        "cycle-level 8T-SRAM PIM model, PIM baselines, and ECC/ZKP "
+        "substrates behind a unified Engine API."
+    ),
+    long_description=open("src/repro/__init__.py").read().split('"""')[1],
+    long_description_content_type="text/x-rst",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Topic :: Security :: Cryptography",
+    ],
+)

@@ -8,12 +8,26 @@ ECC / ZKP application substrates that motivate it.
 
 Quickstart
 ----------
->>> from repro import R4CSALutMultiplier
->>> from repro.ecc import CURVES
->>> curve = CURVES["bn254"]
->>> mul = R4CSALutMultiplier()
->>> mul.multiply(12345, 67890, curve.field_modulus) == (12345 * 67890) % curve.field_modulus
+The unified :class:`~repro.engine.Engine` facade is the entry point: pick a
+backend and a curve, and every layer — single multiplications, batches,
+fields, curves, NTTs — shares one cached per-modulus context.
+
+>>> from repro import Engine
+>>> engine = Engine(backend="r4csa-lut", curve="bn254")
+>>> int(engine.multiply(12345, 67890)) == (12345 * 67890) % engine.default_modulus
 True
+>>> batch = engine.multiply_batch([(3, 5), (7, 5)])    # one context, N products
+>>> list(batch)
+[15, 35]
+>>> batch.stats.precomputations                        # LUTs built once, reused
+1
+
+``engine.field()`` / ``engine.curve()`` / ``engine.ntt(size)`` return
+engine-backed ECC and ZKP substrates; ``Engine(backend="modsram")`` routes
+the same calls through the cycle-accurate hardware model, and
+``available_backends()`` lists every option (including the Table 3 PIM
+baselines as ``pim-*``).  The low-level multiplier classes below remain
+available for direct use.
 
 The cycle-accurate hardware model lives in :mod:`repro.modsram`; the
 experiment reproductions (one module per paper figure/table) live in
@@ -34,23 +48,37 @@ from repro.core import (
     create_multiplier,
     get_multiplier,
 )
+from repro.engine import (
+    BackendInfo,
+    BatchResult,
+    Engine,
+    MultiplyResult,
+    available_backends,
+    get_backend,
+)
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BackendInfo",
     "BarrettMultiplier",
+    "BatchResult",
     "CsaInterleavedMultiplier",
+    "Engine",
     "InterleavedMultiplier",
     "ModularMultiplier",
     "MontgomeryMultiplier",
+    "MultiplyResult",
     "R4CSALutContext",
     "R4CSALutMultiplier",
     "Radix4InterleavedMultiplier",
     "ReproError",
     "SchoolbookMultiplier",
+    "available_backends",
     "available_multipliers",
     "create_multiplier",
+    "get_backend",
     "get_multiplier",
     "__version__",
 ]

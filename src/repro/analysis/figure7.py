@@ -16,13 +16,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.tables import render_table
-from repro.ecc.curves_data import CURVE_SPECS
-from repro.ecc.curve import EllipticCurve
-from repro.ecc.curves_data import get_curve
 from repro.ecc.scalar import scalar_multiply
-from repro.instrumentation import OperationCounter
+from repro.engine import Engine
 from repro.zkp.msm import msm_pippenger
-from repro.zkp.ntt import NttContext
 from repro.zkp.opcount import (
     PAPER_FIGURE7_BITWIDTH,
     PAPER_FIGURE7_VECTOR_SIZE,
@@ -34,12 +30,23 @@ from repro.zkp.opcount import (
 __all__ = ["Figure7Result", "reproduce_figure7", "measure_ntt_counts", "measure_msm_counts"]
 
 
-def measure_ntt_counts(size: int = 256) -> Dict[str, int]:
-    """Run the instrumented NTT at a small size and return its counts."""
-    modulus = CURVE_SPECS["bn254"].scalar_field_modulus
-    assert modulus is not None
-    context = NttContext(modulus, size)
+def measure_ntt_counts(
+    size: int = 256, engine: Optional[Engine] = None
+) -> Dict[str, int]:
+    """Run the instrumented NTT at a small size and return its counts.
+
+    The transform goes through the unified Engine facade (default: the
+    schoolbook oracle over BN254's scalar field), so the measurement shares
+    the same cached per-modulus context as every other engine user.
+    """
+    if engine is None:
+        engine = Engine(backend="schoolbook", curve="bn254")
+    context = engine.ntt(size)
+    modulus = context.modulus
     rng = random.Random(size)
+    # The context is cached on the engine, so drop any counts accumulated by
+    # earlier transforms (mirrors the counter reset on the MSM path).
+    context.counter.reset()
     context.forward([rng.randrange(modulus) for _ in range(size)])
     return {
         "modular_multiplication": context.counter.count("modmul"),
@@ -48,9 +55,17 @@ def measure_ntt_counts(size: int = 256) -> Dict[str, int]:
     }
 
 
-def measure_msm_counts(size: int = 32, window_bits: int = 4) -> Dict[str, int]:
-    """Run the instrumented Pippenger MSM at a small size and return its counts."""
-    curve = get_curve("secp256k1")
+def measure_msm_counts(
+    size: int = 32, window_bits: int = 4, engine: Optional[Engine] = None
+) -> Dict[str, int]:
+    """Run the instrumented Pippenger MSM at a small size and return its counts.
+
+    The curve (and therefore every field multiplication) is built through
+    the Engine facade, defaulting to the schoolbook oracle backend.
+    """
+    if engine is None:
+        engine = Engine(backend="schoolbook")
+    curve = engine.curve("secp256k1")
     rng = random.Random(size)
     base = curve.generator
     points = [scalar_multiply(curve, rng.randrange(3, 2**64), base) for _ in range(size)]

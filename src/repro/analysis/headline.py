@@ -18,7 +18,7 @@ from typing import List, Optional
 from repro.analysis.tables import render_table
 from repro.analysis.table3 import reproduce_table3
 from repro.ecc.curves_data import CURVE_SPECS
-from repro.modsram.accelerator import ModSRAMAccelerator
+from repro.engine import Engine, ModSRAMBackend
 from repro.modsram.area import AreaModel, PAPER_AREA_MM2, PAPER_AREA_OVERHEAD_PERCENT
 from repro.modsram.config import PAPER_CONFIG
 
@@ -68,13 +68,15 @@ def reproduce_headline_claims(measure: bool = True) -> HeadlineResult:
 
     # --- cycles -------------------------------------------------------- #
     if measure:
+        # One real 256-bit multiplication through the Engine facade on the
+        # cycle-accurate backend, paper configuration.
         modulus = CURVE_SPECS["bn254"].field_modulus
-        accelerator = ModSRAMAccelerator(PAPER_CONFIG)
+        engine = Engine(ModSRAMBackend(config=PAPER_CONFIG), modulus=modulus)
         a = (modulus * 5) // 7
         b = (modulus * 3) // 11
-        result = accelerator.multiply(a, b, modulus)
-        assert result.product == (a * b) % modulus
-        cycles = result.report.iteration_cycles
+        result = engine.multiply(a, b)
+        assert result.value == (a * b) % modulus
+        cycles = engine.context().multiplier.reports[-1].iteration_cycles
     else:
         cycles = PAPER_CONFIG.expected_iteration_cycles
     claims.append(

@@ -1,9 +1,13 @@
 """Command-line interface for the ModSRAM reproduction.
 
-Four subcommands cover the things a user wants without writing code::
+The arithmetic subcommands go through the unified :class:`repro.engine.Engine`
+facade, so every registered backend — software algorithms, the cycle-level
+ModSRAM model and the Table 3 PIM baselines — is reachable from the shell::
 
     python -m repro.cli report   [--quick]          # every table and figure
-    python -m repro.cli multiply A B [--modulus P] [--backend NAME] [--curve NAME]
+    python -m repro.cli multiply A B [--modulus P] [--backend NAME] [--curve NAME] [--json]
+    python -m repro.cli batch    [--count N] [--backend NAME] [--seed S] [--json]
+    python -m repro.cli backends [--json]           # backend capability matrix
     python -m repro.cli cycles   [--bitwidth N]     # cycle model + comparison
     python -m repro.cli area     [--rows R] [--bitwidth N] [--technology NM]
     python -m repro.cli verify   [--bitwidth N] [--cases K]   # equivalence check
@@ -14,13 +18,16 @@ Values may be given in decimal or ``0x``-prefixed hexadecimal.
 from __future__ import annotations
 
 import argparse
+import json
+import random
 from typing import List, Optional
 
 from repro.analysis.report import build_report
 from repro.analysis.tables import render_table
-from repro.core import available_multipliers, create_multiplier
 from repro.core.complexity import COMPLEXITY_MODELS
 from repro.ecc.curves_data import CURVE_SPECS
+from repro.engine import Engine, available_backends, get_backend
+from repro.errors import ReproError
 from repro.modsram.area import AreaModel
 from repro.modsram.config import ModSRAMConfig
 from repro.modsram.verification import EquivalenceChecker
@@ -56,7 +63,42 @@ def build_parser() -> argparse.ArgumentParser:
     multiply.add_argument(
         "--backend",
         default="r4csa-lut",
-        help="multiplier backend (see 'repro cycles' for the list)",
+        help="engine backend (see 'repro backends' for the list)",
+    )
+    multiply.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+
+    batch = subparsers.add_parser(
+        "batch", help="batched multiplication through the engine's context cache"
+    )
+    batch.add_argument(
+        "--count", type=int, default=256, help="number of operand pairs"
+    )
+    batch.add_argument("--modulus", type=_parse_int, default=None, help="modulus p")
+    batch.add_argument(
+        "--curve",
+        choices=sorted(CURVE_SPECS),
+        default="bn254",
+        help="use this curve's base-field prime when --modulus is not given",
+    )
+    batch.add_argument(
+        "--backend",
+        default="r4csa-lut",
+        help="engine backend (see 'repro backends' for the list)",
+    )
+    batch.add_argument(
+        "--seed", type=int, default=2024, help="seed for the random operand pairs"
+    )
+    batch.add_argument(
+        "--json", action="store_true", help="emit the batch result as JSON"
+    )
+
+    backends = subparsers.add_parser(
+        "backends", help="capability matrix of every registered engine backend"
+    )
+    backends.add_argument(
+        "--json", action="store_true", help="emit the backend metadata as JSON"
     )
 
     cycles = subparsers.add_parser("cycles", help="cycle models at a bitwidth")
@@ -80,22 +122,97 @@ def _command_report(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _command_multiply(arguments: argparse.Namespace) -> int:
-    modulus = arguments.modulus
-    if modulus is None:
-        modulus = CURVE_SPECS[arguments.curve].field_modulus
-    if arguments.backend not in available_multipliers():
+def _make_engine(arguments: argparse.Namespace) -> Optional[Engine]:
+    """Build the engine a subcommand asked for, or report a usage error."""
+    if arguments.backend not in available_backends():
         print(f"unknown backend {arguments.backend!r}; available: "
-              f"{', '.join(available_multipliers())}")
+              f"{', '.join(available_backends())}")
+        return None
+    return Engine(
+        backend=arguments.backend,
+        curve=arguments.curve,
+        modulus=arguments.modulus,
+    )
+
+
+def _command_multiply(arguments: argparse.Namespace) -> int:
+    engine = _make_engine(arguments)
+    if engine is None:
         return 2
-    multiplier = create_multiplier(arguments.backend)
-    product = multiplier.multiply(arguments.a % modulus, arguments.b % modulus, modulus)
-    print(f"backend : {arguments.backend}")
-    print(f"modulus : {modulus:#x}")
-    print(f"product : {product:#x}")
-    expected_cycles = multiplier.cycles(modulus.bit_length())
-    if expected_cycles is not None:
-        print(f"cycle model at {modulus.bit_length()} bits: {expected_cycles}")
+    modulus = engine.default_modulus
+    assert modulus is not None
+    result = engine.multiply(arguments.a % modulus, arguments.b % modulus)
+    if arguments.json:
+        print(json.dumps(result.as_dict(), indent=2))
+        return 0
+    print(f"backend : {result.backend}")
+    print(f"modulus : {result.modulus:#x}")
+    print(f"product : {result.value:#x}")
+    if result.modeled_cycles is not None:
+        print(f"cycle model at {result.bitwidth} bits: {result.modeled_cycles}")
+    return 0
+
+
+def _command_batch(arguments: argparse.Namespace) -> int:
+    if arguments.count < 1:
+        print(f"--count must be positive, got {arguments.count}")
+        return 2
+    engine = _make_engine(arguments)
+    if engine is None:
+        return 2
+    modulus = engine.default_modulus
+    assert modulus is not None
+    rng = random.Random(arguments.seed)
+    pairs = [
+        (rng.randrange(modulus), rng.randrange(modulus))
+        for _ in range(arguments.count)
+    ]
+    result = engine.multiply_batch(pairs)
+    if arguments.json:
+        payload = result.as_dict()
+        payload["seed"] = arguments.seed
+        payload["cache"] = engine.cache_stats.as_dict()
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"backend        : {result.backend}")
+    print(f"modulus        : {result.modulus:#x}")
+    print(f"pairs          : {result.count}")
+    print(f"first product  : {result.values[0]:#x}")
+    print(f"last product   : {result.values[-1]:#x}")
+    if result.modeled_cycles is not None:
+        print(f"modeled cycles : {result.modeled_cycles} "
+              f"({result.modeled_cycles // result.count} per multiplication)")
+    print(f"precomputations: {result.stats.precomputations} during the batch "
+          "(per-modulus constants were cached before it started)")
+    return 0
+
+
+def _command_backends(arguments: argparse.Namespace) -> int:
+    infos = [get_backend(name).info for name in available_backends()]
+    if arguments.json:
+        print(json.dumps([info.as_dict() for info in infos], indent=2))
+        return 0
+    rows = []
+    for info in infos:
+        bitwidths = (
+            "any"
+            if info.supported_bitwidths is None
+            else ", ".join(str(bits) for bits in info.supported_bitwidths)
+        )
+        rows.append(
+            (
+                info.name,
+                info.kind,
+                "yes" if info.has_cycle_model else "no",
+                "direct" if info.direct_form else "montgomery",
+                bitwidths,
+            )
+        )
+    print(render_table(
+        ("backend", "kind", "cycle model", "result form", "native bitwidths"),
+        rows,
+        title="Engine backends",
+    ))
     return 0
 
 
@@ -109,7 +226,7 @@ def _command_cycles(arguments: argparse.Namespace) -> int:
         rows,
         title="Cycle models",
     ))
-    print("\nregistered multiplier backends: " + ", ".join(available_multipliers()))
+    print("\nregistered engine backends: " + ", ".join(available_backends()))
     return 0
 
 
@@ -150,11 +267,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "report": _command_report,
         "multiply": _command_multiply,
+        "batch": _command_batch,
+        "backends": _command_backends,
         "cycles": _command_cycles,
         "area": _command_area,
         "verify": _command_verify,
     }
-    return handlers[arguments.command](arguments)
+    try:
+        return handlers[arguments.command](arguments)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
 
 
 if __name__ == "__main__":

@@ -69,6 +69,10 @@ class BarrettMultiplier(ModularMultiplier):
             self.stats.precomputations += 1
         return context
 
+    def prepare(self, modulus: int) -> None:
+        """Derive the Barrett reciprocal for ``modulus`` eagerly."""
+        self.context_for(modulus)
+
     def _multiply(self, a: int, b: int, modulus: int) -> int:
         context = self.context_for(modulus)
         product = a * b

@@ -11,8 +11,9 @@ ModSRAM accelerator adapter, can be swapped in as the arithmetic backend.
 from __future__ import annotations
 
 import abc
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Type
+from typing import Any, Callable, Dict, Iterable, List, Optional, Type
 
 from repro.errors import ConfigurationError, ModulusError, OperandRangeError
 
@@ -95,6 +96,16 @@ class ModularMultiplier(abc.ABC):
         """Clear the accumulated operation counters."""
         self.stats.reset()
 
+    def prepare(self, modulus: int) -> None:
+        """Eagerly derive any per-modulus precomputation (idempotent).
+
+        The engine layer calls this once when a ``(backend, modulus)``
+        context enters the cache so that Montgomery/Barrett constants,
+        overflow LUTs and accelerator sizing are built before the first
+        multiplication instead of lazily inside it.  Algorithms without
+        per-modulus state inherit this no-op.
+        """
+
     def cycles(self, bitwidth: int) -> Optional[int]:
         """Analytic cycle count for one multiplication at ``bitwidth`` bits.
 
@@ -167,9 +178,37 @@ def get_multiplier(name: str) -> Type[ModularMultiplier]:
         ) from None
 
 
-def create_multiplier(name: str, **kwargs: object) -> ModularMultiplier:
-    """Instantiate a registered multiplier by name."""
-    return get_multiplier(name)(**kwargs)  # type: ignore[arg-type]
+def create_multiplier(name: str, **kwargs: Any) -> ModularMultiplier:
+    """Instantiate a registered multiplier by name.
+
+    Unknown keyword options raise a :class:`ConfigurationError` naming the
+    options the multiplier accepts, instead of surfacing as a bare
+    ``TypeError`` from the constructor.
+    """
+    cls = get_multiplier(name)
+    parameters = inspect.signature(cls.__init__).parameters
+    accepts_anything = any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+    if not accepts_anything:
+        accepted = sorted(
+            parameter_name
+            for parameter_name, parameter in parameters.items()
+            if parameter_name != "self"
+            and parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        )
+        unknown = sorted(set(kwargs) - set(accepted))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown option(s) {unknown} for multiplier {name!r}; "
+                f"accepted options: {accepted or '(none)'}"
+            )
+    return cls(**kwargs)
 
 
 def available_multipliers() -> List[str]:

@@ -121,6 +121,10 @@ class MontgomeryMultiplier(ModularMultiplier):
             self.stats.precomputations += 1
         return context
 
+    def prepare(self, modulus: int) -> None:
+        """Derive the Montgomery constants for ``modulus`` eagerly."""
+        self.context_for(modulus)
+
     def _multiply(self, a: int, b: int, modulus: int) -> int:
         context = self.context_for(modulus)
         # Entering Montgomery form costs one REDC per operand ...

@@ -69,21 +69,32 @@ class R4CSALutContext:
 
     @classmethod
     def create(
-        cls, multiplicand: int, modulus: int, bitwidth: Optional[int] = None
+        cls,
+        multiplicand: int,
+        modulus: int,
+        bitwidth: Optional[int] = None,
+        overflow_lut: Optional[OverflowLut] = None,
     ) -> "R4CSALutContext":
-        """Precompute both LUTs for a multiplicand/modulus pair."""
+        """Precompute both LUTs for a multiplicand/modulus pair.
+
+        ``overflow_lut`` may be passed in when a caller already holds the
+        per-modulus table (it depends on ``p`` alone), so switching
+        multiplicand only rebuilds LUT-radix4.
+        """
         if bitwidth is None:
             bitwidth = max(modulus.bit_length(), 2)
         register_width = bitwidth + 1
+        if overflow_lut is None:
+            overflow_lut = build_overflow_lut(
+                modulus, register_width, entry_count=OVERFLOW_LUT_ENTRIES
+            )
         return cls(
             multiplicand=multiplicand,
             modulus=modulus,
             bitwidth=bitwidth,
             register_width=register_width,
             radix4_lut=build_radix4_lut(multiplicand, modulus),
-            overflow_lut=build_overflow_lut(
-                modulus, register_width, entry_count=OVERFLOW_LUT_ENTRIES
-            ),
+            overflow_lut=overflow_lut,
         )
 
 
@@ -124,10 +135,32 @@ class R4CSALutMultiplier(ModularMultiplier):
         self.record_trace = record_trace
         self.last_trace: List[IterationSnapshot] = []
         self._context: Optional[R4CSALutContext] = None
+        self._overflow: Optional[Tuple[int, int, OverflowLut]] = None
 
     # ------------------------------------------------------------------ #
     # precomputation / context handling
     # ------------------------------------------------------------------ #
+    def _overflow_for(self, modulus: int, register_width: int) -> OverflowLut:
+        """Return (and cache) the per-modulus overflow LUT.
+
+        LUT-overflow depends on ``p`` alone, so it is cached separately from
+        the ``(B, p)`` context: switching multiplicand under the same
+        modulus only rebuilds LUT-radix4.
+        """
+        cached = self._overflow
+        if cached is not None and cached[0] == modulus and cached[1] == register_width:
+            return cached[2]
+        lut = build_overflow_lut(
+            modulus, register_width, entry_count=OVERFLOW_LUT_ENTRIES
+        )
+        self._overflow = (modulus, register_width, lut)
+        return lut
+
+    def prepare(self, modulus: int) -> None:
+        """Build the per-modulus overflow LUT eagerly."""
+        bitwidth = max(modulus.bit_length(), 2)
+        self._overflow_for(modulus, bitwidth + 1)
+
     def context_for(self, multiplicand: int, modulus: int) -> R4CSALutContext:
         """Return (and cache) the LUT context for ``(B, p)``.
 
@@ -140,7 +173,13 @@ class R4CSALutMultiplier(ModularMultiplier):
             or context.multiplicand != multiplicand
             or context.modulus != modulus
         ):
-            context = R4CSALutContext.create(multiplicand, modulus)
+            bitwidth = max(modulus.bit_length(), 2)
+            context = R4CSALutContext.create(
+                multiplicand,
+                modulus,
+                bitwidth=bitwidth,
+                overflow_lut=self._overflow_for(modulus, bitwidth + 1),
+            )
             self._context = context
             self.stats.precomputations += 1
         return context

@@ -57,6 +57,10 @@ class ModSRAMMultiplier(ModularMultiplier):
             self._accelerators[bitwidth] = ModSRAMAccelerator(config)
         return self._accelerators[bitwidth]
 
+    def prepare(self, modulus: int) -> None:
+        """Provision the simulated macro for ``modulus`` eagerly."""
+        self.accelerator_for(modulus)
+
     # ------------------------------------------------------------------ #
     # ModularMultiplier interface
     # ------------------------------------------------------------------ #

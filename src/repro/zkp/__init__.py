@@ -10,6 +10,7 @@ from repro.zkp.mapping import (
 from repro.zkp.msm import (
     MsmStatistics,
     default_window_bits,
+    msm_engine,
     msm_naive,
     msm_pippenger,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "default_window_bits",
     "find_root_of_unity",
     "map_zkp_kernels",
+    "msm_engine",
     "msm_naive",
     "msm_operation_counts",
     "msm_pippenger",

@@ -14,10 +14,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.errors import NttError
 from repro.instrumentation import OperationCounter
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.algorithms.base import ModularMultiplier
+    from repro.engine.engine import Engine
 
 __all__ = ["NttContext", "bit_reverse_indices", "find_root_of_unity"]
 
@@ -84,7 +88,16 @@ class _CountWeights:
 
 
 class NttContext:
-    """Forward and inverse NTT of a fixed power-of-two size."""
+    """Forward and inverse NTT of a fixed power-of-two size.
+
+    ``multiplier`` routes every value-level modular multiplication (the
+    butterfly twiddle products, the point-wise products and the inverse
+    scaling) through a :class:`~repro.core.ModularMultiplier` backend — this
+    is how :meth:`repro.engine.Engine.ntt` attaches the transform to its
+    cached per-modulus context.  Without one, plain Python ``%`` arithmetic
+    is used (the fast software oracle); the operation *counts* are identical
+    either way.
+    """
 
     def __init__(
         self,
@@ -93,6 +106,7 @@ class NttContext:
         root_of_unity: Optional[int] = None,
         counter: Optional[OperationCounter] = None,
         word_bits: int = 32,
+        multiplier: Optional["ModularMultiplier"] = None,
     ) -> None:
         if size <= 1 or size & (size - 1):
             raise NttError(f"size must be a power of two greater than 1, got {size}")
@@ -102,6 +116,22 @@ class NttContext:
         self.size = size
         self.counter = counter or OperationCounter("ntt")
         self.word_bits = word_bits
+        self.multiplier = multiplier
+        if multiplier is None:
+            self._modmul: Callable[[int, int], int] = (
+                lambda x, y: (x * y) % modulus
+            )
+        else:
+            # Operands are always reduced here, so the algorithm body is
+            # called directly (batch-style); the multiplication counter is
+            # kept truthful by hand.
+            stats = multiplier.stats
+
+            def _modmul(x: int, y: int) -> int:
+                stats.multiplications += 1
+                return multiplier._multiply(x, y, modulus)
+
+            self._modmul = _modmul
         self._weights = _CountWeights()
         self.root = (
             root_of_unity
@@ -165,12 +195,26 @@ class NttContext:
                 for offset in range(half):
                     twiddle = twiddles[offset * step]
                     even = data[start + offset]
-                    odd = (data[start + offset + half] * twiddle) % modulus
+                    odd = self._modmul(data[start + offset + half], twiddle)
                     data[start + offset] = (even + odd) % modulus
                     data[start + offset + half] = (even - odd) % modulus
                     self._count_butterfly()
             length *= 2
         return data
+
+    @classmethod
+    def from_engine(
+        cls,
+        engine: "Engine",
+        size: int,
+        modulus: Optional[int] = None,
+    ) -> "NttContext":
+        """An NTT context whose multiplications run on ``engine``'s backend.
+
+        Delegates to :meth:`repro.engine.Engine.ntt`, which caches the
+        context alongside the engine's per-modulus state.
+        """
+        return engine.ntt(size, modulus=modulus)
 
     def forward(self, values: Sequence[int]) -> List[int]:
         """Forward NTT (coefficients → evaluations)."""
@@ -183,7 +227,7 @@ class NttContext:
             transformed = self._transform(values, self._inverse_twiddles)
             result = []
             for value in transformed:
-                result.append((value * self.size_inverse) % self.modulus)
+                result.append(self._modmul(value, self.size_inverse))
                 self.counter.increment("modmul")
                 self.counter.add("memory_access", 2)
             return result
@@ -210,7 +254,7 @@ class NttContext:
         eval_b = self.forward(padded_b)
         pointwise = []
         for x, y in zip(eval_a, eval_b):
-            pointwise.append((x * y) % self.modulus)
+            pointwise.append(self._modmul(x, y))
             self.counter.increment("modmul")
             self.counter.add("memory_access", 3)
         return self.inverse(pointwise)

@@ -1,0 +1,36 @@
+"""Tests for create_multiplier's keyword-option validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import available_multipliers, create_multiplier
+from repro.core.algorithms.r4csa_lut import R4CSALutMultiplier
+from repro.errors import ConfigurationError
+
+
+class TestCreateMultiplier:
+    def test_known_kwargs_are_accepted(self):
+        multiplier = create_multiplier("r4csa-lut", full_range=False)
+        assert isinstance(multiplier, R4CSALutMultiplier)
+        assert multiplier.full_range is False
+
+    def test_unknown_kwarg_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown option"):
+            create_multiplier("r4csa-lut", lut_depth=4)
+
+    def test_error_names_the_accepted_options(self):
+        with pytest.raises(ConfigurationError, match="full_range"):
+            create_multiplier("r4csa-lut", nonsense=True)
+
+    def test_unknown_kwarg_on_no_option_multiplier(self):
+        with pytest.raises(ConfigurationError, match="unknown option"):
+            create_multiplier("schoolbook", anything=1)
+
+    def test_unknown_name_still_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown multiplier"):
+            create_multiplier("nonexistent")
+
+    @pytest.mark.parametrize("name", available_multipliers())
+    def test_every_registered_multiplier_constructs_bare(self, name):
+        assert create_multiplier(name).name == name

@@ -1,0 +1,66 @@
+"""Tests for the LRU context cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ContextCache, get_backend
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def backend():
+    return get_backend("barrett")
+
+
+class TestContextCache:
+    def test_miss_then_hit(self, backend):
+        cache = ContextCache(max_entries=4)
+        first, hit_first = cache.get_or_create(backend, 97)
+        second, hit_second = cache.get_or_create(backend, 97)
+        assert not hit_first and hit_second
+        assert first is second
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_distinct_moduli_are_distinct_entries(self, backend):
+        cache = ContextCache(max_entries=4)
+        first, _ = cache.get_or_create(backend, 97)
+        second, _ = cache.get_or_create(backend, 101)
+        assert first is not second
+        assert len(cache) == 2
+
+    def test_lru_eviction_order(self, backend):
+        cache = ContextCache(max_entries=2)
+        cache.get_or_create(backend, 97)
+        cache.get_or_create(backend, 101)
+        cache.get_or_create(backend, 97)     # refresh 97: 101 is now LRU
+        cache.get_or_create(backend, 251)    # evicts 101
+        assert ("barrett", 97) in cache
+        assert ("barrett", 251) in cache
+        assert ("barrett", 101) not in cache
+        assert cache.stats.evictions == 1
+
+    def test_on_evict_callback_receives_context(self, backend):
+        evicted = []
+        cache = ContextCache(max_entries=1, on_evict=evicted.append)
+        cache.get_or_create(backend, 97)
+        cache.get_or_create(backend, 101)
+        assert [context.modulus for context in evicted] == [97]
+
+    def test_clear_notifies_and_empties(self, backend):
+        evicted = []
+        cache = ContextCache(max_entries=4, on_evict=evicted.append)
+        cache.get_or_create(backend, 97)
+        cache.get_or_create(backend, 101)
+        cache.clear()
+        assert len(cache) == 0
+        assert sorted(context.modulus for context in evicted) == [97, 101]
+
+    def test_zero_capacity_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContextCache(max_entries=0)
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert ContextCache().stats.hit_rate == 0.0

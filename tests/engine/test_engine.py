@@ -1,0 +1,279 @@
+"""Tests for the unified Engine facade: parity, caching, batching."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ecc import CURVE_SPECS, PrimeField, get_curve
+from repro.ecc.scalar import scalar_multiply
+from repro.engine import Engine, available_backends
+from repro.errors import ConfigurationError, ModulusError, OperandRangeError
+from repro.zkp.msm import msm_engine, msm_pippenger
+from repro.zkp.ntt import NttContext
+
+BN254_P = CURVE_SPECS["bn254"].field_modulus
+BN254_R = CURVE_SPECS["bn254"].scalar_field_modulus
+SECP256K1_P = CURVE_SPECS["secp256k1"].field_modulus
+
+#: Backends cheap enough to exercise at every small modulus.
+ALL_BACKENDS = tuple(available_backends())
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_all_backends_agree_with_the_oracle(self, backend):
+        modulus = 997
+        engine = Engine(backend=backend, modulus=modulus)
+        rng = random.Random(backend)  # str seeds are stable across processes
+        for _ in range(8):
+            a = rng.randrange(modulus)
+            b = rng.randrange(modulus)
+            assert int(engine.multiply(a, b)) == (a * b) % modulus
+
+    @pytest.mark.parametrize("backend", ("r4csa-lut", "montgomery", "barrett"))
+    def test_256_bit_parity(self, backend, bn254_modulus, rng):
+        engine = Engine(backend=backend, curve="bn254")
+        a = rng.randrange(bn254_modulus)
+        b = rng.randrange(bn254_modulus)
+        assert int(engine.multiply(a, b)) == (a * b) % bn254_modulus
+
+    def test_result_metadata(self):
+        engine = Engine(backend="r4csa-lut", modulus=997)
+        result = engine.multiply(5, 7)
+        assert result.backend == "r4csa-lut"
+        assert result.modulus == 997
+        assert result.bitwidth == 10
+        assert result.modeled_cycles == 6 * 5 - 1
+        assert not result.cache_hit
+        assert engine.multiply(5, 7).cache_hit
+
+    def test_result_behaves_like_an_int(self):
+        result = Engine(backend="schoolbook", modulus=97).multiply(5, 7)
+        assert int(result) == 35
+        assert result == 35
+        assert hex(result) == "0x23"
+        # hash/eq invariant with the int it compares equal to
+        assert hash(result) == hash(35)
+        assert result in {35} and 35 in {result}
+
+
+class TestContextCaching:
+    def test_cache_hit_miss_accounting(self):
+        engine = Engine(backend="barrett", modulus=997)
+        engine.multiply(1, 2)
+        engine.multiply(3, 4)
+        engine.multiply(3, 4, modulus=97)
+        assert engine.cache_stats.misses == 2
+        assert engine.cache_stats.hits == 1
+        assert engine.cache_size == 2
+
+    def test_eviction_preserves_aggregate_stats(self):
+        engine = Engine(backend="montgomery", cache_size=1)
+        engine.multiply(5, 7, modulus=97)
+        engine.multiply(5, 7, modulus=101)  # evicts the 97 context
+        assert engine.cache_size == 1
+        stats = engine.stats()
+        assert stats.multiplications == 2
+        assert stats.precomputations == 2
+
+    def test_clear_cache_retains_stats(self):
+        engine = Engine(backend="barrett", modulus=997)
+        engine.multiply(5, 7)
+        engine.clear_cache()
+        assert engine.cache_size == 0
+        assert engine.stats().multiplications == 1
+
+    def test_no_default_modulus_is_an_error(self):
+        engine = Engine(backend="schoolbook")
+        with pytest.raises(ModulusError, match="no modulus"):
+            engine.multiply(1, 2)
+
+    def test_unknown_curve_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown curve"):
+            Engine(curve="curve25519")
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        engine = Engine(backend="r4csa-lut", curve="bn254")
+        engine.multiply(3, 5)
+        payload = json.loads(json.dumps(engine.describe()))
+        assert payload["backend"]["name"] == "r4csa-lut"
+        assert payload["curve"] == "bn254"
+        assert payload["cache"]["misses"] == 1
+
+
+class TestBatch:
+    def test_batch_equals_per_call_loop(self, rng):
+        engine = Engine(backend="montgomery", modulus=997)
+        pairs = [(rng.randrange(997), rng.randrange(997)) for _ in range(32)]
+        batch = engine.multiply_batch(pairs)
+        loop = [int(engine.multiply(a, b)) for a, b in pairs]
+        assert list(batch) == loop
+        assert batch.count == 32
+
+    @pytest.mark.parametrize("backend", ("montgomery", "barrett"))
+    def test_precomputation_does_not_grow_with_batch_size(self, backend, rng):
+        engine = Engine(backend=backend, curve="bn254")
+        modulus = engine.default_modulus
+        for size in (8, 64):
+            pairs = [
+                (rng.randrange(modulus), rng.randrange(modulus))
+                for _ in range(size)
+            ]
+            batch = engine.multiply_batch(pairs)
+            # The per-modulus context was built when it entered the cache;
+            # no batch, whatever its size, rebuilds it.
+            assert batch.stats.precomputations == 0
+            assert batch.stats.multiplications == size
+        assert engine.stats().precomputations == 1
+
+    def test_r4csa_lut_shared_multiplicand_batch_reuses_luts(self, rng):
+        engine = Engine(backend="r4csa-lut", modulus=BN254_P)
+        b = rng.randrange(BN254_P)
+        for size in (4, 16):
+            pairs = [(rng.randrange(BN254_P), b) for _ in range(size)]
+            batch = engine.multiply_batch(pairs)
+            assert list(batch) == [(a * b) % BN254_P for a, _ in pairs]
+        # One (B, p) LUT build serves both batches.
+        assert engine.stats().precomputations == 1
+
+    def test_batch_validates_operands(self):
+        engine = Engine(backend="schoolbook", modulus=97)
+        with pytest.raises(OperandRangeError):
+            engine.multiply_batch([(5, 97)])
+        with pytest.raises(OperandRangeError):
+            engine.multiply_batch([(-1, 5)])
+
+    def test_batch_modeled_cycles_scale_with_count(self):
+        engine = Engine(backend="r4csa-lut", modulus=997)
+        batch = engine.multiply_batch([(1, 2), (3, 4), (5, 6)])
+        assert batch.modeled_cycles == 3 * (6 * 5 - 1)
+
+    def test_batch_accepts_generators(self):
+        engine = Engine(backend="schoolbook", modulus=97)
+        batch = engine.multiply_batch((a, a) for a in range(5))
+        assert list(batch) == [a * a % 97 for a in range(5)]
+
+    def test_empty_batch(self):
+        engine = Engine(backend="schoolbook", modulus=97)
+        batch = engine.multiply_batch([])
+        assert batch.count == 0
+        assert list(batch) == []
+
+
+class TestPower:
+    @pytest.mark.parametrize("backend", ("schoolbook", "montgomery", "r4csa-lut"))
+    def test_power_matches_builtin_pow(self, backend):
+        engine = Engine(backend=backend, modulus=997)
+        for base, exponent in ((2, 10), (3, 0), (0, 5), (996, 997)):
+            assert int(engine.power(base, exponent)) == pow(base, exponent, 997)
+
+    def test_power_counts_operations(self):
+        engine = Engine(backend="schoolbook", modulus=997)
+        result = engine.power(2, 10)
+        assert result.operations >= 4  # square-and-multiply, not repeated mult
+
+    def test_power_of_zero_exponent_costs_nothing(self):
+        engine = Engine(backend="r4csa-lut", modulus=997)
+        result = engine.power(5, 0)
+        assert int(result) == 1
+        assert result.operations == 0
+        assert result.modeled_cycles == 0
+        assert engine.stats().multiplications == 0
+
+    def test_negative_exponent_is_rejected(self):
+        with pytest.raises(OperandRangeError):
+            Engine(backend="schoolbook", modulus=97).power(2, -1)
+
+
+class TestApplicationSubstrates:
+    def test_field_shares_the_cached_context(self):
+        engine = Engine(backend="montgomery", modulus=997)
+        field = engine.field()
+        assert field is engine.field()  # cached per context
+        assert field.multiplier is engine.context().multiplier
+        assert field.multiply(5, 7) == 35
+        assert PrimeField.from_engine(engine) is field
+
+    def test_engine_curve_scalar_mult_matches_direct_wiring(self):
+        # Old wiring: hand-built field with an explicit backend.
+        from repro.core import R4CSALutMultiplier
+
+        scalar = 0xBEEF
+        direct_curve = get_curve(
+            "secp256k1",
+            field=PrimeField(SECP256K1_P, multiplier=R4CSALutMultiplier()),
+        )
+        direct = scalar_multiply(direct_curve, scalar, direct_curve.generator)
+
+        engine = Engine(backend="r4csa-lut", curve="secp256k1")
+        engine_curve = engine.curve()
+        routed = scalar_multiply(engine_curve, scalar, engine_curve.generator)
+        assert routed.coordinates() == direct.coordinates()
+        # The multiplications actually went through the engine's context.
+        assert engine.stats().multiplications > 0
+
+    def test_engine_ntt_matches_direct_wiring(self, rng):
+        size = 16
+        values = [rng.randrange(BN254_R) for _ in range(size)]
+        direct = NttContext(BN254_R, size).forward(values)
+
+        engine = Engine(backend="r4csa-lut", curve="bn254")
+        context = engine.ntt(size)
+        assert context.modulus == BN254_R  # scalar field, not base field
+        routed = context.forward(values)
+        assert routed == direct
+        assert context.inverse(routed) == [value % BN254_R for value in values]
+        assert engine.stats().multiplications > 0
+
+    def test_ntt_from_engine_classmethod(self):
+        engine = Engine(backend="schoolbook", curve="bn254")
+        context = NttContext.from_engine(engine, 8)
+        assert context is engine.ntt(8)  # cached per context
+
+    def test_msm_engine_matches_direct_wiring(self, rng):
+        count = 8
+        direct_curve = get_curve("secp256k1")
+        base = direct_curve.generator
+        points = [
+            scalar_multiply(direct_curve, rng.randrange(3, 2**32), base)
+            for _ in range(count)
+        ]
+        scalars = [rng.randrange(1, 2**32) for _ in range(count)]
+        direct = msm_pippenger(direct_curve, scalars, points, window_bits=4)
+
+        engine = Engine(backend="schoolbook", curve="secp256k1")
+        routed = msm_engine(engine, scalars, points, window_bits=4)
+        assert routed.coordinates() == direct.coordinates()
+
+    def test_msm_engine_accepts_coordinate_pairs(self, rng):
+        direct_curve = get_curve("secp256k1")
+        base = direct_curve.generator
+        points = [
+            scalar_multiply(direct_curve, k, base) for k in (3, 5, 7, 11)
+        ]
+        scalars = [2, 4, 6, 8]
+        direct = msm_pippenger(direct_curve, scalars, points, window_bits=3)
+        engine = Engine(backend="schoolbook", curve="secp256k1")
+        routed = msm_engine(
+            engine,
+            scalars,
+            [point.coordinates() for point in points],
+            window_bits=3,
+        )
+        assert routed.coordinates() == direct.coordinates()
+
+    def test_curve_requires_a_name_somewhere(self):
+        with pytest.raises(ConfigurationError, match="no curve name"):
+            Engine(backend="schoolbook").curve()
+
+    def test_measure_ntt_counts_is_idempotent_on_a_reused_engine(self):
+        from repro.analysis.figure7 import measure_ntt_counts
+
+        engine = Engine(backend="schoolbook", curve="bn254")
+        first = measure_ntt_counts(16, engine=engine)
+        second = measure_ntt_counts(16, engine=engine)
+        assert first == second  # cached context, counts must not accumulate

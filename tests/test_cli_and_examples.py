@@ -16,6 +16,7 @@ EXAMPLES_DIR = os.path.join(
 )
 ALL_EXAMPLES = (
     "quickstart.py",
+    "engine_quickstart.py",
     "ecc_point_multiplication.py",
     "zkp_pipeline.py",
     "design_space_exploration.py",
@@ -23,7 +24,12 @@ ALL_EXAMPLES = (
     "ecdsa_signing.py",
 )
 #: Examples cheap enough to execute end-to-end inside the unit-test suite.
-FAST_EXAMPLES = ("quickstart.py", "dataflow_walkthrough.py", "ecdsa_signing.py")
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "engine_quickstart.py",
+    "dataflow_walkthrough.py",
+    "ecdsa_signing.py",
+)
 
 
 class TestCliParser:
