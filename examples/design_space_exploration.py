@@ -1,47 +1,39 @@
 #!/usr/bin/env python3
-"""Design-space exploration with the ModSRAM models.
+"""Design-space exploration through the declarative Experiment API.
 
 The paper evaluates one design point (64 x 256, 65 nm, 256-bit).  Because
 every model in this library is parametric, the same machinery answers
-"what if" questions a deployment would ask:
-
-* How do cycles, latency, area and energy scale with the operand bitwidth?
-* What does a different technology node buy?
-* How much sensing margin does the logic-SA scheme have, and when does
-  bitline noise start to corrupt XOR3/MAJ results?
+"what if" questions a deployment would ask — and since PR 2 the way to ask
+them is a *sweep* of the registered ``design-point`` experiment rather
+than a hand-rolled loop: the Runner executes the grid (optionally across a
+process pool), caches every point by content hash, and returns structured
+results that render to the familiar tables.
 
 Run with ``python examples/design_space_exploration.py``.
 """
 
 from __future__ import annotations
 
-import random
+import tempfile
 
 from repro.analysis import render_table
-from repro.modsram import AreaModel, ModSRAMAccelerator, ModSRAMConfig
+from repro.experiments import Runner
 from repro.sram import LogicSenseAmpModule, SenseAmpParameters
 
 
-def bitwidth_sweep() -> None:
+def bitwidth_sweep(runner: Runner) -> None:
+    """Cycles / latency / area / energy across operand widths."""
+    sweep = runner.sweep("design-point", {"bitwidth": (64, 128, 192, 256)})
     rows = []
-    rng = random.Random(5)
-    for bitwidth in (64, 128, 192, 256):
-        config = ModSRAMConfig(extend_for_full_range=False).with_bitwidth(bitwidth)
-        accelerator = ModSRAMAccelerator(config)
-        modulus = ((1 << bitwidth) - rng.randrange(3, 1 << 8)) | 1
-        a = rng.randrange(modulus) >> 1
-        b = rng.randrange(modulus)
-        result = accelerator.multiply(a, b, modulus)
-        assert result.product == (a * b) % modulus
-        area = AreaModel(config).total_mm2()
-        energy = accelerator.energy_report().total_pj
+    for result in sweep.results:
+        point = result.result()  # DesignPointResult
         rows.append(
             (
-                bitwidth,
-                result.report.iteration_cycles,
-                round(result.report.latency_us, 2),
-                round(area, 4),
-                round(energy, 1),
+                point.bitwidth,
+                point.iteration_cycles,
+                round(point.latency_us, 2),
+                round(point.area_mm2, 4),
+                round(point.energy_pj, 1),
             )
         )
     print(render_table(
@@ -52,20 +44,22 @@ def bitwidth_sweep() -> None:
     print()
 
 
-def technology_sweep() -> None:
+def technology_sweep(runner: Runner) -> None:
+    """First-order constant-field scaling across process nodes."""
+    sweep = runner.sweep(
+        "design-point",
+        {"technology_nm": (65, 45, 28)},
+        params={"measure": False},  # scheduled cycles; no accelerator runs
+    )
     rows = []
-    for node in (65, 45, 28):
-        config = ModSRAMConfig(technology_nm=node)
-        scaled = ModSRAMConfig(
-            technology_nm=node, timing=config.timing.scaled_to(node)
-        )
-        area = AreaModel(scaled).total_mm2()
+    for result in sweep.results:
+        point = result.result()
         rows.append(
             (
-                f"{node} nm",
-                round(scaled.frequency_mhz, 0),
-                round(scaled.expected_iteration_cycles / scaled.frequency_mhz, 2),
-                round(area, 4),
+                f"{point.technology_nm} nm",
+                round(point.frequency_mhz, 0),
+                round(point.latency_us, 2),
+                round(point.area_mm2, 4),
             )
         )
     print(render_table(
@@ -73,6 +67,16 @@ def technology_sweep() -> None:
         rows,
         title="Technology scaling (first-order constant-field rules)",
     ))
+    print()
+
+
+def warm_cache_demo(runner: Runner) -> None:
+    """Re-running a sweep serves every point from the content-hash cache."""
+    warm = runner.sweep("design-point", {"bitwidth": (64, 128, 192, 256)})
+    print(
+        f"re-ran the bitwidth sweep: {warm.cache_hits}/{len(warm.results)} "
+        f"points from cache, {warm.elapsed_seconds:.3f} s recomputation"
+    )
     print()
 
 
@@ -99,8 +103,13 @@ def sensing_margin_study() -> None:
 
 
 def main() -> None:
-    bitwidth_sweep()
-    technology_sweep()
+    # A throwaway cache directory keeps the example self-contained; drop
+    # cache_dir (or set $REPRO_CACHE_DIR) to persist sweeps across runs.
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runner = Runner(cache_dir=cache_dir, parallel=True)
+        bitwidth_sweep(runner)
+        technology_sweep(runner)
+        warm_cache_demo(runner)
     sensing_margin_study()
 
 

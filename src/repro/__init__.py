@@ -29,9 +29,27 @@ the same calls through the cycle-accurate hardware model, and
 baselines as ``pim-*``).  The low-level multiplier classes below remain
 available for direct use.
 
+Reproducing the paper
+---------------------
+Every table and figure is a registered *experiment* — declarative,
+parameterisable, sweepable, executed in parallel and cached on disk by
+content hash (:mod:`repro.experiments`)::
+
+    from repro.experiments import Runner
+
+    runner = Runner(parallel=True)
+    print(runner.run("headline", quick=True).render())   # claims scorecard
+    sweep = runner.sweep("design-point", {"bitwidth": [64, 128, 256]})
+
+The same API drives the shell: ``repro experiment list`` names every
+experiment, ``repro experiment run table3 --json`` emits the structured
+result, ``repro experiment sweep design-point --axis bitwidth=64,128,256
+--parallel`` runs a grid, and ``repro report --parallel`` composes the
+full consolidated report with warm-cache reuse (``python -m repro`` is
+equivalent to the ``repro`` console script).
+
 The cycle-accurate hardware model lives in :mod:`repro.modsram`; the
-experiment reproductions (one module per paper figure/table) live in
-:mod:`repro.analysis`.
+per-exhibit reproduction modules live in :mod:`repro.analysis`.
 """
 
 from repro.core import (
@@ -58,7 +76,7 @@ from repro.engine import (
 )
 from repro.errors import ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BackendInfo",

@@ -1,0 +1,6 @@
+"""``python -m repro`` — same interface as the ``repro`` console script."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

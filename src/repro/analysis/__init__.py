@@ -1,8 +1,31 @@
-"""Experiment reproductions: one module per table/figure of the paper."""
+"""Experiment reproductions: one module per table/figure of the paper.
 
+The canonical way to run these is the Experiment API
+(:mod:`repro.experiments`): every entry point below is registered as a
+named experiment — ``table1``, ``figure1``, ``figure5``, ``figure6``,
+``figure7``, ``table3``, ``headline``, ``energy``, ``design-point`` — so it
+can be parameterised, swept over a grid, executed across a process pool
+and cached to disk as structured JSON::
+
+    from repro.experiments import Runner
+
+    runner = Runner(parallel=True)
+    print(runner.run("table3", quick=True).render())
+    sweep = runner.sweep("design-point", {"bitwidth": [64, 128, 256]})
+
+or, from the shell, ``repro experiment run table3 --json`` and
+``repro report --parallel``.  The ``reproduce_*`` functions remain the
+thin, direct entry points the experiments wrap: calling them yields the
+same result objects (now JSON round-trippable via ``to_dict`` /
+``from_dict``) without caching or parallelism.
+"""
+
+from repro.analysis.design_point import DesignPointResult, reproduce_design_point
 from repro.analysis.energy import (
+    EnergyAnalysisResult,
     EnergyResult,
     measure_energy_per_multiplication,
+    reproduce_energy,
     reproduce_energy_analysis,
 )
 from repro.analysis.figure1 import Figure1Result, measure_modsram_cycles, reproduce_figure1
@@ -15,13 +38,15 @@ from repro.analysis.figure7 import (
     reproduce_figure7,
 )
 from repro.analysis.headline import HeadlineClaim, HeadlineResult, reproduce_headline_claims
-from repro.analysis.report import build_report
+from repro.analysis.report import REPORT_EXPERIMENTS, build_report
 from repro.analysis.table1 import TableOneResult, reproduce_tables
 from repro.analysis.table3 import DESIGN_ORDER, Table3Result, reproduce_table3
 from repro.analysis.tables import format_value, render_table
 
 __all__ = [
     "DESIGN_ORDER",
+    "DesignPointResult",
+    "EnergyAnalysisResult",
     "EnergyResult",
     "Figure1Result",
     "Figure5Result",
@@ -29,6 +54,7 @@ __all__ = [
     "Figure7Result",
     "HeadlineClaim",
     "HeadlineResult",
+    "REPORT_EXPERIMENTS",
     "Table3Result",
     "TableOneResult",
     "build_report",
@@ -38,6 +64,8 @@ __all__ = [
     "measure_msm_counts",
     "measure_ntt_counts",
     "render_table",
+    "reproduce_design_point",
+    "reproduce_energy",
     "reproduce_energy_analysis",
     "reproduce_figure1",
     "reproduce_figure5",

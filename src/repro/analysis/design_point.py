@@ -1,0 +1,168 @@
+"""One ModSRAM design point: cycles, latency, area and energy together.
+
+The paper evaluates a single operating point (64 x 256 array, 65 nm,
+256-bit operands).  Design-space exploration asks the same four questions —
+how many cycles, how fast, how big, how many picojoules — at *other*
+points, so this module bundles them into one structured, sweepable result.
+
+Registered as experiment ``design-point`` in :mod:`repro.experiments`;
+``Runner().sweep(...)`` over ``bitwidth`` / ``technology_nm`` replaces the
+hand-rolled loops ``examples/design_space_exploration.py`` used to carry.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import render_table
+from repro.modsram.accelerator import ModSRAMAccelerator
+from repro.modsram.area import AreaModel
+from repro.modsram.config import ModSRAMConfig
+
+__all__ = ["DesignPointResult", "reproduce_design_point"]
+
+
+@dataclass(frozen=True)
+class DesignPointResult:
+    """Cycles / latency / area / energy of one ModSRAM configuration."""
+
+    bitwidth: int
+    rows: int
+    technology_nm: int
+    #: Whether the cycle count came from a cycle-accurate run (vs the schedule).
+    measured: bool
+    iteration_cycles: int
+    frequency_mhz: float
+    latency_us: float
+    area_mm2: float
+    #: Modelled energy of one multiplication; ``None`` without a measured run.
+    energy_pj: Optional[float]
+
+    def as_row(self) -> List[object]:
+        """One table row for sweeps over bitwidth or technology."""
+        return [
+            self.bitwidth,
+            self.rows,
+            f"{self.technology_nm} nm",
+            self.iteration_cycles,
+            round(self.frequency_mhz, 0),
+            round(self.latency_us, 2),
+            round(self.area_mm2, 4),
+            None if self.energy_pj is None else round(self.energy_pj, 1),
+        ]
+
+    def render(self) -> str:
+        """The design point as a one-row text table."""
+        return render_table(
+            (
+                "bitwidth",
+                "rows",
+                "tech",
+                "cycles",
+                "freq (MHz)",
+                "latency (us)",
+                "area (mm^2)",
+                "energy/op (pJ)",
+            ),
+            [self.as_row()],
+            title="ModSRAM design point"
+            + (" (measured)" if self.measured else " (scheduled)"),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "bitwidth": self.bitwidth,
+            "rows": self.rows,
+            "technology_nm": self.technology_nm,
+            "measured": self.measured,
+            "iteration_cycles": self.iteration_cycles,
+            "frequency_mhz": self.frequency_mhz,
+            "latency_us": self.latency_us,
+            "area_mm2": self.area_mm2,
+            "energy_pj": self.energy_pj,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DesignPointResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        energy = data["energy_pj"]
+        return cls(
+            bitwidth=int(data["bitwidth"]),
+            rows=int(data["rows"]),
+            technology_nm=int(data["technology_nm"]),
+            measured=bool(data["measured"]),
+            iteration_cycles=int(data["iteration_cycles"]),
+            frequency_mhz=float(data["frequency_mhz"]),
+            latency_us=float(data["latency_us"]),
+            area_mm2=float(data["area_mm2"]),
+            energy_pj=None if energy is None else float(energy),
+        )
+
+
+def build_design_config(
+    bitwidth: int = 256,
+    rows: Optional[int] = None,
+    technology_nm: int = 65,
+) -> ModSRAMConfig:
+    """A paper-schedule configuration at the requested design point."""
+    config = ModSRAMConfig(extend_for_full_range=False).with_bitwidth(bitwidth)
+    if rows is not None:
+        config = replace(config, rows=rows)
+    if technology_nm != config.technology_nm:
+        config = replace(
+            config,
+            technology_nm=technology_nm,
+            timing=config.timing.scaled_to(technology_nm),
+        )
+    return config
+
+
+def reproduce_design_point(
+    bitwidth: int = 256,
+    rows: Optional[int] = None,
+    technology_nm: int = 65,
+    measure: bool = True,
+    seed: int = 5,
+) -> DesignPointResult:
+    """Evaluate one ModSRAM design point.
+
+    ``measure=True`` runs a random multiplication through the cycle-accurate
+    model (checked against the oracle) and reports the measured cycles,
+    latency and energy; ``measure=False`` uses the scheduled cycle count and
+    skips the energy figure.
+    """
+    config = build_design_config(bitwidth, rows=rows, technology_nm=technology_nm)
+    area_mm2 = AreaModel(config).total_mm2()
+    if measure:
+        rng = random.Random(seed)
+        accelerator = ModSRAMAccelerator(config)
+        modulus = ((1 << bitwidth) - rng.randrange(3, 1 << 8)) | 1
+        a = rng.randrange(modulus) >> 1  # paper schedule: top bit clear
+        b = rng.randrange(modulus)
+        result = accelerator.multiply(a, b, modulus)
+        if result.product != (a * b) % modulus:
+            raise AssertionError(
+                "cycle-accurate model disagrees with the oracle at design "
+                f"point ({bitwidth}b, {config.rows} rows, {technology_nm} nm)"
+            )
+        cycles = result.report.iteration_cycles
+        latency_us = result.report.latency_us
+        energy_pj: Optional[float] = accelerator.energy_report().total_pj
+    else:
+        cycles = config.expected_iteration_cycles
+        latency_us = cycles / config.frequency_mhz
+        energy_pj = None
+    return DesignPointResult(
+        bitwidth=bitwidth,
+        rows=config.rows,
+        technology_nm=technology_nm,
+        measured=measure,
+        iteration_cycles=cycles,
+        frequency_mhz=config.frequency_mhz,
+        latency_us=latency_us,
+        area_mm2=area_mm2,
+        energy_pj=energy_pj,
+    )

@@ -10,6 +10,8 @@ near-memory registers), plus how the figure scales with operand width.
 Because the paper publishes no reference value, EXPERIMENTS.md lists this as
 a beyond-the-paper analysis; the constants live in
 :class:`repro.sram.energy.EnergyModel` and are user-recalibratable.
+
+Registered as experiment ``energy`` in :mod:`repro.experiments`.
 """
 
 from __future__ import annotations
@@ -24,7 +26,13 @@ from repro.modsram.accelerator import ModSRAMAccelerator
 from repro.modsram.config import ModSRAMConfig, PAPER_CONFIG
 from repro.sram.energy import EnergyBreakdown
 
-__all__ = ["EnergyResult", "measure_energy_per_multiplication", "reproduce_energy_analysis"]
+__all__ = [
+    "EnergyAnalysisResult",
+    "EnergyResult",
+    "measure_energy_per_multiplication",
+    "reproduce_energy",
+    "reproduce_energy_analysis",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +55,73 @@ class EnergyResult:
             round(self.breakdown.sensing_pj, 1),
             round(self.breakdown.write_pj, 1),
         ]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "bitwidth": self.bitwidth,
+            "iteration_cycles": self.iteration_cycles,
+            "breakdown": {
+                "precharge_pj": self.breakdown.precharge_pj,
+                "wordline_pj": self.breakdown.wordline_pj,
+                "sensing_pj": self.breakdown.sensing_pj,
+                "write_pj": self.breakdown.write_pj,
+                "near_memory_pj": self.breakdown.near_memory_pj,
+            },
+            "energy_per_multiplication_pj": self.energy_per_multiplication_pj,
+            "energy_per_bit_pj": self.energy_per_bit_pj,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EnergyResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        breakdown = data["breakdown"]
+        return cls(
+            bitwidth=int(data["bitwidth"]),
+            iteration_cycles=int(data["iteration_cycles"]),
+            breakdown=EnergyBreakdown(
+                precharge_pj=float(breakdown["precharge_pj"]),
+                wordline_pj=float(breakdown["wordline_pj"]),
+                sensing_pj=float(breakdown["sensing_pj"]),
+                write_pj=float(breakdown["write_pj"]),
+                near_memory_pj=float(breakdown["near_memory_pj"]),
+            ),
+            energy_per_multiplication_pj=float(data["energy_per_multiplication_pj"]),
+            energy_per_bit_pj=float(data["energy_per_bit_pj"]),
+        )
+
+
+@dataclass(frozen=True)
+class EnergyAnalysisResult:
+    """The energy bitwidth sweep as one structured, renderable result."""
+
+    results: Tuple[EnergyResult, ...]
+
+    def render(self) -> str:
+        """The sweep as the same text table the legacy API printed."""
+        return render_table(
+            (
+                "bitwidth",
+                "cycles",
+                "energy/mul (pJ)",
+                "energy/bit (pJ)",
+                "sensing (pJ)",
+                "write-back (pJ)",
+            ),
+            [result.as_row() for result in self.results],
+            title="Energy per modular multiplication (modelled, beyond the paper)",
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {"results": [result.to_dict() for result in self.results]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EnergyAnalysisResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        return cls(
+            results=tuple(EnergyResult.from_dict(entry) for entry in data["results"])
+        )
 
 
 def measure_energy_per_multiplication(
@@ -79,21 +154,24 @@ def measure_energy_per_multiplication(
     )
 
 
+def reproduce_energy(
+    bitwidths: Sequence[int] = (64, 128, 256),
+) -> EnergyAnalysisResult:
+    """Energy sweep across operand widths as one structured result.
+
+    This is the entry point the ``energy`` experiment wraps; the legacy
+    :func:`reproduce_energy_analysis` tuple API delegates to it.
+    """
+    return EnergyAnalysisResult(
+        results=tuple(
+            measure_energy_per_multiplication(bitwidth) for bitwidth in bitwidths
+        )
+    )
+
+
 def reproduce_energy_analysis(
     bitwidths: Sequence[int] = (64, 128, 256),
 ) -> Tuple[List[EnergyResult], str]:
     """Energy sweep across operand widths; returns the results and a table."""
-    results = [measure_energy_per_multiplication(bitwidth) for bitwidth in bitwidths]
-    table = render_table(
-        (
-            "bitwidth",
-            "cycles",
-            "energy/mul (pJ)",
-            "energy/bit (pJ)",
-            "sensing (pJ)",
-            "write-back (pJ)",
-        ),
-        [result.as_row() for result in results],
-        title="Energy per modular multiplication (modelled, beyond the paper)",
-    )
-    return results, table
+    analysis = reproduce_energy(bitwidths)
+    return list(analysis.results), analysis.render()

@@ -12,6 +12,10 @@ things for every bitwidth:
 
 so the O(n) claim is backed by the simulator rather than only by the
 formula.
+
+Registered as experiment ``figure1`` in :mod:`repro.experiments`; prefer
+``Runner().run("figure1")`` over calling :func:`reproduce_figure1` directly
+when you want caching, sweeps or JSON output.
 """
 
 from __future__ import annotations
@@ -96,6 +100,28 @@ class Figure1Result:
             headers,
             self.rows(),
             title="Figure 1: cycles per modular multiplication vs bitwidth",
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "bitwidths": list(self.bitwidths),
+            "analytic_series": {
+                key: list(series) for key, series in self.analytic_series.items()
+            },
+            "measured_modsram": list(self.measured_modsram),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Figure1Result":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        return cls(
+            bitwidths=tuple(int(b) for b in data["bitwidths"]),
+            analytic_series={
+                key: [int(v) for v in series]
+                for key, series in data["analytic_series"].items()
+            },
+            measured_modsram=[int(v) for v in data["measured_modsram"]],
         )
 
 

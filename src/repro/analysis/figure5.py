@@ -5,6 +5,9 @@ array / 20 % in-memory circuit / 11 % near-memory circuit / 2 % decoders,
 and a 32 % area overhead over a plain SRAM macro.  The reproduction computes
 the same breakdown from the parametric area model and reports the deltas
 against the published numbers.
+
+Registered as experiment ``figure5`` in :mod:`repro.experiments` (with
+``rows`` / ``bitwidth`` / ``technology_nm`` as sweep axes).
 """
 
 from __future__ import annotations
@@ -74,6 +77,40 @@ class Figure5Result:
             f"(paper {self.paper_overhead_percent}%)"
         )
         return f"{table}\n{summary}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "breakdown": {
+                "sram_array_mm2": self.breakdown.sram_array_mm2,
+                "in_memory_circuit_mm2": self.breakdown.in_memory_circuit_mm2,
+                "near_memory_circuit_mm2": self.breakdown.near_memory_circuit_mm2,
+                "decoder_mm2": self.breakdown.decoder_mm2,
+            },
+            "overhead_percent": self.overhead_percent,
+            "paper_total_mm2": self.paper_total_mm2,
+            "paper_breakdown_percent": dict(self.paper_breakdown_percent),
+            "paper_overhead_percent": self.paper_overhead_percent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Figure5Result":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        breakdown = data["breakdown"]
+        return cls(
+            breakdown=AreaBreakdown(
+                sram_array_mm2=float(breakdown["sram_array_mm2"]),
+                in_memory_circuit_mm2=float(breakdown["in_memory_circuit_mm2"]),
+                near_memory_circuit_mm2=float(breakdown["near_memory_circuit_mm2"]),
+                decoder_mm2=float(breakdown["decoder_mm2"]),
+            ),
+            overhead_percent=float(data["overhead_percent"]),
+            # The paper constants render verbatim (``{value}%``), so their
+            # original int/float type must survive the round trip untouched.
+            paper_total_mm2=data["paper_total_mm2"],
+            paper_breakdown_percent=dict(data["paper_breakdown_percent"]),
+            paper_overhead_percent=data["paper_overhead_percent"],
+        )
 
 
 def reproduce_figure5(config: Optional[ModSRAMConfig] = None) -> Figure5Result:

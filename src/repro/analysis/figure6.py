@@ -7,6 +7,8 @@ working set plus near-memory routing/scratchpad, and ModSRAM keeps three
 operand rows, two intermediate rows and thirteen reusable LUT rows inside a
 64-row array.  The reproduction computes each design's row requirement at a
 given bitwidth from the row models and reports ModSRAM's region breakdown.
+
+Registered as experiment ``figure6`` in :mod:`repro.experiments`.
 """
 
 from __future__ import annotations
@@ -63,6 +65,42 @@ class Figure6Result:
             f"{util.free_rows} rows free for further operands"
         )
         return f"{table}\n{breakdown}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        util = self.modsram_utilization
+        return {
+            "bitwidth": self.bitwidth,
+            "rows_by_design": dict(self.rows_by_design),
+            "modsram_utilization": {
+                "total_rows": util.total_rows,
+                "operand_rows_used": util.operand_rows_used,
+                "operand_capacity": util.operand_capacity,
+                "intermediate_rows": util.intermediate_rows,
+                "lut_rows": util.lut_rows,
+            },
+            "modsram_array_rows": self.modsram_array_rows,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Figure6Result":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        util = data["modsram_utilization"]
+        return cls(
+            bitwidth=int(data["bitwidth"]),
+            rows_by_design={
+                key: (None if value is None else int(value))
+                for key, value in data["rows_by_design"].items()
+            },
+            modsram_utilization=MemoryUtilization(
+                total_rows=int(util["total_rows"]),
+                operand_rows_used=int(util["operand_rows_used"]),
+                operand_capacity=int(util["operand_capacity"]),
+                intermediate_rows=int(util["intermediate_rows"]),
+                lut_rows=int(util["lut_rows"]),
+            ),
+            modsram_array_rows=int(data["modsram_array_rows"]),
+        )
 
 
 def reproduce_figure6(

@@ -7,6 +7,8 @@ writes, and that computing the multiplications in-SRAM removes the latter
 two categories.  The reproduction evaluates the closed-form operation-count
 models at the paper's operating point and, optionally, validates those
 models against the instrumented NTT/MSM implementations at a small size.
+
+Registered as experiment ``figure7`` in :mod:`repro.experiments`.
 """
 
 from __future__ import annotations
@@ -106,6 +108,45 @@ class Figure7Result:
                 f"(vector size 2^{self.vector_size.bit_length() - 1}, "
                 f"{self.bitwidth}-bit operands)"
             ),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        def counts_dict(counts: OperationCounts) -> Dict[str, object]:
+            return {
+                "kernel": counts.kernel,
+                "vector_size": counts.vector_size,
+                "bitwidth": counts.bitwidth,
+                "modular_multiplications": counts.modular_multiplications,
+                "memory_accesses": counts.memory_accesses,
+                "register_writes": counts.register_writes,
+            }
+
+        return {
+            "vector_size": self.vector_size,
+            "bitwidth": self.bitwidth,
+            "ntt": counts_dict(self.ntt),
+            "msm": counts_dict(self.msm),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Figure7Result":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        def counts(entry: Dict[str, object]) -> OperationCounts:
+            return OperationCounts(
+                kernel=str(entry["kernel"]),
+                vector_size=int(entry["vector_size"]),
+                bitwidth=int(entry["bitwidth"]),
+                modular_multiplications=int(entry["modular_multiplications"]),
+                memory_accesses=int(entry["memory_accesses"]),
+                register_writes=int(entry["register_writes"]),
+            )
+
+        return cls(
+            vector_size=int(data["vector_size"]),
+            bitwidth=int(data["bitwidth"]),
+            ntt=counts(data["ntt"]),
+            msm=counts(data["msm"]),
         )
 
 

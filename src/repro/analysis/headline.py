@@ -8,12 +8,15 @@ print a single paper-versus-measured scorecard:
 * 420 MHz clock in 65 nm,
 * 0.053 mm² macro area, 67/20/11/2 % breakdown, 32 % overhead over SRAM,
 * 52 % cycle reduction versus prior work at the same bitwidth.
+
+Registered as experiment ``headline`` in :mod:`repro.experiments` (the
+``repro experiment run headline --json --quick`` CI smoke check).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.tables import render_table
 from repro.analysis.table3 import reproduce_table3
@@ -54,6 +57,35 @@ class HeadlineResult:
                 for claim in self.claims
             ],
             title="Headline claims (paper vs reproduction)",
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "claims": [
+                {
+                    "claim": claim.claim,
+                    "paper_value": claim.paper_value,
+                    "reproduced_value": claim.reproduced_value,
+                    "holds": claim.holds,
+                }
+                for claim in self.claims
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HeadlineResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        return cls(
+            claims=[
+                HeadlineClaim(
+                    claim=str(entry["claim"]),
+                    paper_value=str(entry["paper_value"]),
+                    reproduced_value=str(entry["reproduced_value"]),
+                    holds=bool(entry["holds"]),
+                )
+                for entry in data["claims"]
+            ]
         )
 
 

@@ -1,43 +1,63 @@
 """Run every experiment reproduction and print one consolidated report.
 
+The report is composed from the Experiment API
+(:mod:`repro.experiments`): each section is one registered experiment, so
+the sections can execute in parallel across a process pool and reuse the
+runner's content-hash disk cache.  The rendered text is byte-identical to
+the legacy serial path regardless of those flags.
+
 Usage::
 
-    python -m repro.analysis.report            # full report (runs the
-                                               # cycle-accurate sweeps)
-    python -m repro.analysis.report --quick    # skip the cycle-accurate runs
+    python -m repro.analysis.report              # full report (runs the
+                                                 # cycle-accurate sweeps)
+    python -m repro.analysis.report --quick      # skip cycle-accurate runs
+    python -m repro.analysis.report --parallel   # sections across a pool
+    python -m repro.analysis.report --no-cache   # force recomputation
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List
+from typing import List, Optional
 
-from repro.analysis.figure1 import reproduce_figure1
-from repro.analysis.figure5 import reproduce_figure5
-from repro.analysis.figure6 import reproduce_figure6
-from repro.analysis.figure7 import reproduce_figure7
-from repro.analysis.headline import reproduce_headline_claims
-from repro.analysis.table1 import reproduce_tables
-from repro.analysis.table3 import reproduce_table3
+from repro.errors import ConfigurationError
+from repro.experiments.registry import REPORT_EXPERIMENTS
+from repro.experiments.runner import Runner
+from repro.experiments.spec import ExperimentSpec
 
-__all__ = ["build_report", "main"]
+__all__ = ["REPORT_EXPERIMENTS", "build_report", "main"]
 
-
-def build_report(quick: bool = False) -> str:
-    """Produce the full text report covering every table and figure."""
-    sections: List[str] = []
-    sections.append(reproduce_tables().render())
-    sections.append(reproduce_figure1(measure=not quick).render())
-    sections.append(reproduce_figure5().render())
-    sections.append(reproduce_figure6().render())
-    sections.append(reproduce_figure7().render())
-    sections.append(reproduce_table3(measure=not quick).render())
-    sections.append(reproduce_headline_claims(measure=not quick).render())
-    divider = "\n\n" + "=" * 78 + "\n\n"
-    return divider.join(sections)
+#: Separator between report sections.
+REPORT_DIVIDER = "\n\n" + "=" * 78 + "\n\n"
 
 
-def main(argv: List[str] | None = None) -> int:
+def build_report(
+    quick: bool = False,
+    parallel: bool = False,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+    runner: Optional[Runner] = None,
+) -> str:
+    """Produce the full text report covering every table and figure.
+
+    ``parallel`` runs the report's experiments across a process pool and
+    ``use_cache`` reuses/populates the experiment disk cache; both leave
+    the rendered text byte-identical to the serial, uncached path.  Pass
+    either a configured ``runner`` or the individual flags, not both.
+    """
+    if runner is None:
+        runner = Runner(parallel=parallel, use_cache=use_cache, cache_dir=cache_dir)
+    elif parallel or use_cache or cache_dir is not None:
+        raise ConfigurationError(
+            "pass either runner= or the parallel/use_cache/cache_dir flags, "
+            "not both (the flags would be silently ignored)"
+        )
+    specs = [ExperimentSpec(name) for name in REPORT_EXPERIMENTS]
+    results = runner.run_specs(specs, quick=quick)
+    return REPORT_DIVIDER.join(result.render() for result in results)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point."""
     parser = argparse.ArgumentParser(
         description="Reproduce every table and figure of the ModSRAM paper."
@@ -47,8 +67,31 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="skip the cycle-accurate accelerator runs (analytic models only)",
     )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run the report sections across a process pool",
+    )
+    parser.add_argument(
+        "--no-cache",
+        dest="no_cache",
+        action="store_true",
+        help="do not read or write the experiment result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="experiment cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     arguments = parser.parse_args(argv)
-    print(build_report(quick=arguments.quick))
+    print(
+        build_report(
+            quick=arguments.quick,
+            parallel=arguments.parallel,
+            use_cache=not arguments.no_cache,
+            cache_dir=arguments.cache_dir,
+        )
+    )
     return 0
 
 

@@ -3,12 +3,14 @@
 These are not evaluation results but definitional tables; regenerating them
 from the implementation (rather than hard-coding them) is the check that the
 encoder and LUT builders match the paper.
+
+Registered as experiment ``table1`` in :mod:`repro.experiments`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.analysis.tables import render_table
 from repro.core.booth import encoder_truth_table
@@ -49,6 +51,29 @@ class TableOneResult:
             ),
         ]
         return "\n\n".join(sections)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "multiplicand": self.multiplicand,
+            "modulus": self.modulus,
+            "bitwidth": self.bitwidth,
+            "encoder_rows": [list(row) for row in self.encoder_rows],
+            "radix4_rows": [list(row) for row in self.radix4_rows],
+            "overflow_rows": [list(row) for row in self.overflow_rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TableOneResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        return cls(
+            multiplicand=int(data["multiplicand"]),
+            modulus=int(data["modulus"]),
+            bitwidth=int(data["bitwidth"]),
+            encoder_rows=[tuple(row) for row in data["encoder_rows"]],
+            radix4_rows=[tuple(row) for row in data["radix4_rows"]],
+            overflow_rows=[tuple(row) for row in data["overflow_rows"]],
+        )
 
 
 def reproduce_tables(

@@ -7,6 +7,8 @@ area.  This reproduction builds every row from the library's own models: the
 ModSRAM cycles come from the cycle-accurate accelerator (optionally) or the
 schedule, the prior-work cycles from their scaling laws, areas and
 frequencies from the design specs or the area/timing models.
+
+Registered as experiment ``table3`` in :mod:`repro.experiments`.
 """
 
 from __future__ import annotations
@@ -104,6 +106,32 @@ class Table3Result:
                 f"{self.measured_modsram_cycles}"
             )
         return table + "\n" + "\n".join(summary_lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "bitwidth": self.bitwidth,
+            "rows_by_design": {
+                key: dict(row) for key, row in self.rows_by_design.items()
+            },
+            "measured_modsram_cycles": self.measured_modsram_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Table3Result":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON).
+
+        The row values render verbatim, so their JSON types (int vs float,
+        lists for the bitwidth tuples) are kept exactly as loaded.
+        """
+        measured = data["measured_modsram_cycles"]
+        return cls(
+            bitwidth=int(data["bitwidth"]),
+            rows_by_design={
+                key: dict(row) for key, row in data["rows_by_design"].items()
+            },
+            measured_modsram_cycles=None if measured is None else int(measured),
+        )
 
 
 def reproduce_table3(bitwidth: int = 256, measure: bool = False) -> Table3Result:

@@ -4,7 +4,10 @@ The arithmetic subcommands go through the unified :class:`repro.engine.Engine`
 facade, so every registered backend — software algorithms, the cycle-level
 ModSRAM model and the Table 3 PIM baselines — is reachable from the shell::
 
-    python -m repro.cli report   [--quick]          # every table and figure
+    python -m repro.cli report   [--quick] [--parallel] [--no-cache]
+    python -m repro.cli experiment list [--json]    # registered experiments
+    python -m repro.cli experiment run NAME [--quick] [--set K=V] [--json]
+    python -m repro.cli experiment sweep NAME --axis K=V1,V2 [--parallel] [--json]
     python -m repro.cli multiply A B [--modulus P] [--backend NAME] [--curve NAME] [--json]
     python -m repro.cli batch    [--count N] [--backend NAME] [--seed S] [--json]
     python -m repro.cli backends [--json]           # backend capability matrix
@@ -12,6 +15,10 @@ ModSRAM model and the Table 3 PIM baselines — is reachable from the shell::
     python -m repro.cli area     [--rows R] [--bitwidth N] [--technology NM]
     python -m repro.cli verify   [--bitwidth N] [--cases K]   # equivalence check
 
+The same interface is reachable as ``python -m repro`` and as the
+``repro`` console script.  The ``experiment`` subcommands drive the
+declarative Experiment API (:mod:`repro.experiments`): every paper
+table/figure as a parameterisable, sweepable, disk-cached experiment.
 Values may be given in decimal or ``0x``-prefixed hexadecimal.
 """
 
@@ -28,6 +35,7 @@ from repro.core.complexity import COMPLEXITY_MODELS
 from repro.ecc.curves_data import CURVE_SPECS
 from repro.engine import Engine, available_backends, get_backend
 from repro.errors import ReproError
+from repro.experiments import Runner, available_experiments, get_experiment
 from repro.modsram.area import AreaModel
 from repro.modsram.config import ModSRAMConfig
 from repro.modsram.verification import EquivalenceChecker
@@ -37,6 +45,59 @@ __all__ = ["main", "build_parser"]
 
 def _parse_int(text: str) -> int:
     return int(text, 0)
+
+
+def _parse_param_value(text: str) -> object:
+    """A ``--set``/``--axis`` value: JSON first, then 0x-int, then string."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        pass
+    try:
+        return int(text, 0)
+    except ValueError:
+        return text
+
+
+def _parse_assignments(pairs: Optional[List[str]], option: str) -> dict:
+    """``KEY=VALUE`` strings into a parameter dictionary."""
+    params = {}
+    for pair in pairs or []:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise ReproError(
+                f"{option} expects KEY=VALUE, got {pair!r}"
+            )
+        params[key] = _parse_param_value(value)
+    return params
+
+
+def _parse_axes(pairs: Optional[List[str]]) -> dict:
+    """``KEY=V1,V2,...`` strings into sweep axes."""
+    axes = {}
+    for pair in pairs or []:
+        key, separator, values = pair.partition("=")
+        if not separator or not key or not values:
+            raise ReproError(
+                f"--axis expects KEY=VALUE[,VALUE...], got {pair!r}"
+            )
+        axes[key] = [_parse_param_value(value) for value in values.split(",")]
+    return axes
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    """The experiment-cache flags shared by report/run/sweep."""
+    parser.add_argument(
+        "--no-cache",
+        dest="no_cache",
+        action="store_true",
+        help="do not read or write the experiment result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="experiment cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +110,91 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = subparsers.add_parser("report", help="reproduce every table and figure")
     report.add_argument("--quick", action="store_true", help="skip cycle-accurate runs")
+    report.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run the report sections across a process pool",
+    )
+    report.add_argument(
+        "--workers", type=int, default=None, help="process pool size cap"
+    )
+    _add_cache_options(report)
+
+    experiment = subparsers.add_parser(
+        "experiment",
+        help="declarative experiment API: list, run or sweep any table/figure",
+    )
+    experiment_commands = experiment.add_subparsers(
+        dest="experiment_command", required=True
+    )
+
+    experiment_list = experiment_commands.add_parser(
+        "list", help="every registered experiment with its parameters"
+    )
+    experiment_list.add_argument(
+        "--json", action="store_true", help="emit the experiment metadata as JSON"
+    )
+
+    experiment_run = experiment_commands.add_parser(
+        "run", help="run one experiment and print its result"
+    )
+    experiment_run.add_argument("name", help="experiment name (see 'experiment list')")
+    experiment_run.add_argument(
+        "--set",
+        dest="assignments",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override one parameter (repeatable)",
+    )
+    experiment_run.add_argument(
+        "--quick", action="store_true", help="apply the experiment's quick overrides"
+    )
+    experiment_run.add_argument(
+        "--json", action="store_true", help="emit the structured result as JSON"
+    )
+    _add_cache_options(experiment_run)
+
+    experiment_sweep = experiment_commands.add_parser(
+        "sweep", help="run a cartesian parameter sweep of one experiment"
+    )
+    experiment_sweep.add_argument(
+        "name", help="experiment name (see 'experiment list')"
+    )
+    experiment_sweep.add_argument(
+        "--axis",
+        dest="axes",
+        action="append",
+        metavar="KEY=V1,V2",
+        required=True,
+        help="sweep axis with its values (repeatable; axes form a grid)",
+    )
+    experiment_sweep.add_argument(
+        "--set",
+        dest="assignments",
+        action="append",
+        metavar="KEY=VALUE",
+        help="fix one non-swept parameter (repeatable)",
+    )
+    experiment_sweep.add_argument(
+        "--quick", action="store_true", help="apply the experiment's quick overrides"
+    )
+    experiment_sweep.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run the grid points across a process pool",
+    )
+    experiment_sweep.add_argument(
+        "--workers", type=int, default=None, help="process pool size cap"
+    )
+    experiment_sweep.add_argument(
+        "--render",
+        action="store_true",
+        help="print every point's full text view instead of the summary table",
+    )
+    experiment_sweep.add_argument(
+        "--json", action="store_true", help="emit the sweep results as JSON"
+    )
+    _add_cache_options(experiment_sweep)
 
     multiply = subparsers.add_parser("multiply", help="one modular multiplication")
     multiply.add_argument("a", type=_parse_int, help="multiplier (decimal or 0x...)")
@@ -117,8 +263,90 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_runner(arguments: argparse.Namespace, parallel: bool = False) -> Runner:
+    """The experiment runner a subcommand's cache/parallel flags describe."""
+    return Runner(
+        cache_dir=arguments.cache_dir,
+        use_cache=not arguments.no_cache,
+        parallel=parallel,
+        max_workers=getattr(arguments, "workers", None),
+    )
+
+
 def _command_report(arguments: argparse.Namespace) -> int:
-    print(build_report(quick=arguments.quick))
+    print(
+        build_report(
+            quick=arguments.quick,
+            runner=_make_runner(arguments, parallel=arguments.parallel),
+        )
+    )
+    return 0
+
+
+def _command_experiment(arguments: argparse.Namespace) -> int:
+    handlers = {
+        "list": _command_experiment_list,
+        "run": _command_experiment_run,
+        "sweep": _command_experiment_sweep,
+    }
+    return handlers[arguments.experiment_command](arguments)
+
+
+def _command_experiment_list(arguments: argparse.Namespace) -> int:
+    definitions = [get_experiment(name) for name in available_experiments()]
+    if arguments.json:
+        print(json.dumps([d.describe() for d in definitions], indent=2))
+        return 0
+    rows = []
+    for definition in definitions:
+        rows.append(
+            (
+                definition.name,
+                definition.title,
+                ", ".join(definition.sweep_axes) or "-",
+                "yes" if definition.quick_overrides else "no",
+            )
+        )
+    print(render_table(
+        ("experiment", "title", "sweep axes", "quick mode"),
+        rows,
+        title="Registered experiments",
+    ))
+    return 0
+
+
+def _command_experiment_run(arguments: argparse.Namespace) -> int:
+    params = _parse_assignments(arguments.assignments, "--set")
+    runner = _make_runner(arguments)
+    result = runner.run(arguments.name, params, quick=arguments.quick)
+    if arguments.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(result.render())
+    return 0
+
+
+def _command_experiment_sweep(arguments: argparse.Namespace) -> int:
+    params = _parse_assignments(arguments.assignments, "--set")
+    axes = _parse_axes(arguments.axes)
+    runner = _make_runner(arguments, parallel=arguments.parallel)
+    sweep = runner.sweep(arguments.name, axes, params, quick=arguments.quick)
+    if arguments.json:
+        print(json.dumps(sweep.to_dict(), indent=2))
+        return 0
+    if arguments.render:
+        divider = "\n\n" + "-" * 78 + "\n\n"
+        print(divider.join(result.render() for result in sweep.results))
+    else:
+        headers = tuple(sorted(axes)) + ("elapsed (s)", "cache hit")
+        print(render_table(
+            headers,
+            sweep.summary_rows(),
+            title=f"Sweep of experiment {arguments.name!r} "
+                  f"({len(sweep.results)} points)",
+        ))
+    print(f"{sweep.cache_hits}/{len(sweep.results)} points from cache; "
+          f"computed in {sweep.elapsed_seconds:.3f} s")
     return 0
 
 
@@ -266,6 +494,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     handlers = {
         "report": _command_report,
+        "experiment": _command_experiment,
         "multiply": _command_multiply,
         "batch": _command_batch,
         "backends": _command_backends,

@@ -56,6 +56,14 @@ class MultiplierStats:
         """Counters as a plain dictionary (stable key order)."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "MultiplierStats":
+        """Rebuild stats from :meth:`as_dict` output (unknown keys ignored)."""
+        stats = cls()
+        for name in cls.__dataclass_fields__:
+            setattr(stats, name, int(data.get(name, 0)))
+        return stats
+
     def merged_with(self, other: "MultiplierStats") -> "MultiplierStats":
         """Return a new stats object with element-wise summed counters."""
         merged = MultiplierStats()

@@ -11,6 +11,7 @@ per call.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
@@ -59,6 +60,11 @@ class ContextCache:
     ``on_evict`` (if given) is called with every evicted context, letting the
     owning :class:`~repro.engine.engine.Engine` fold the evicted context's
     operation statistics into its retired totals.
+
+    Every operation (lookup, eviction, stats accounting) runs under one
+    re-entrant lock, so concurrent runner threads can share a cache without
+    corrupting the LRU order or double-building a context for the same
+    modulus.
     """
 
     def __init__(
@@ -73,6 +79,7 @@ class ContextCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._on_evict = on_evict
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Tuple[str, int], EngineContext]" = OrderedDict()
 
     def get_or_create(
@@ -81,45 +88,53 @@ class ContextCache:
         """Return ``(context, cache_hit)`` for ``(backend, modulus)``.
 
         On a miss the backend builds (and warms) a fresh context; the least
-        recently used entry is evicted once the cache is full.
+        recently used entry is evicted once the cache is full.  Context
+        creation happens under the lock, so two threads racing on the same
+        modulus warm it exactly once.
         """
         key = (backend.info.name, modulus)
-        context = self._entries.get(key)
-        if context is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return context, True
+        with self._lock:
+            context = self._entries.get(key)
+            if context is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return context, True
 
-        self.stats.misses += 1
-        context = backend.create_context(modulus)
-        self._entries[key] = context
-        if len(self._entries) > self.max_entries:
-            _, evicted = self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            if self._on_evict is not None:
-                self._on_evict(evicted)
-        return context, False
+            self.stats.misses += 1
+            context = backend.create_context(modulus)
+            self._entries[key] = context
+            if len(self._entries) > self.max_entries:
+                _, evicted = self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                if self._on_evict is not None:
+                    self._on_evict(evicted)
+            return context, False
 
     def contexts(self) -> Tuple["EngineContext", ...]:
         """Every resident context, least recently used first."""
-        return tuple(self._entries.values())
+        with self._lock:
+            return tuple(self._entries.values())
 
     def clear(self) -> None:
         """Evict every entry (notifying ``on_evict``) and keep the stats."""
-        while self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            if self._on_evict is not None:
-                self._on_evict(evicted)
+        with self._lock:
+            while self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                if self._on_evict is not None:
+                    self._on_evict(evicted)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Tuple[str, int]) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __repr__(self) -> str:
-        return (
-            f"ContextCache(entries={len(self._entries)}/{self.max_entries}, "
-            f"hits={self.stats.hits}, misses={self.stats.misses})"
-        )
+        with self._lock:
+            return (
+                f"ContextCache(entries={len(self._entries)}/{self.max_entries}, "
+                f"hits={self.stats.hits}, misses={self.stats.misses})"
+            )

@@ -95,6 +95,24 @@ class MultiplyResult:
             "operations": self.operations,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MultiplyResult":
+        """Rebuild a result (value plus cycle metadata) from :meth:`as_dict`.
+
+        Lets experiment payloads and cached JSON carry engine results
+        without losing the execution metadata around the product.
+        """
+        cycles = data.get("modeled_cycles")
+        return cls(
+            value=int(data["value"]),
+            backend=str(data["backend"]),
+            modulus=int(data["modulus"]),
+            bitwidth=int(data["bitwidth"]),
+            modeled_cycles=None if cycles is None else int(cycles),
+            cache_hit=bool(data.get("cache_hit", False)),
+            operations=int(data.get("operations", 1)),
+        )
+
 
 @dataclass(frozen=True)
 class BatchResult:
@@ -137,6 +155,20 @@ class BatchResult:
             "cache_hit": self.cache_hit,
             "stats": self.stats.as_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BatchResult":
+        """Rebuild a batch result (values, cycles, stats) from :meth:`as_dict`."""
+        cycles = data.get("modeled_cycles")
+        return cls(
+            values=tuple(int(value) for value in data["values"]),
+            backend=str(data["backend"]),
+            modulus=int(data["modulus"]),
+            bitwidth=int(data["bitwidth"]),
+            modeled_cycles=None if cycles is None else int(cycles),
+            cache_hit=bool(data.get("cache_hit", False)),
+            stats=MultiplierStats.from_dict(dict(data.get("stats", {}))),
+        )
 
 
 class Engine:

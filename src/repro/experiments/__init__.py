@@ -1,0 +1,52 @@
+"""Experiment API: declarative specs, parallel runner, cached results.
+
+Every table and figure of the paper is a registered *experiment* — a named,
+parameterised entry point returning a structured result.  The API has three
+pieces:
+
+* :class:`~repro.experiments.spec.ExperimentSpec` — a declarative request
+  (experiment name, parameter overrides, sweep/grid axes);
+* :class:`~repro.experiments.runner.Runner` — executes specs serially or
+  across a process pool, with per-spec content-hash disk caching;
+* :class:`~repro.experiments.spec.ExperimentResult` — a JSON round-trippable
+  result whose :meth:`render` reproduces the legacy text view exactly.
+
+Quickstart::
+
+    from repro.experiments import Runner
+
+    runner = Runner(parallel=True)
+    result = runner.run("headline", quick=True)     # ExperimentResult
+    print(result.render())                          # legacy scorecard text
+    sweep = runner.sweep("design-point", {"bitwidth": [64, 128, 256]})
+    print(sweep.cache_hits, "of", len(sweep.results), "points cached")
+
+``repro experiment list`` shows every registered experiment;
+``repro experiment run NAME --json`` and ``repro experiment sweep NAME
+--axis k=v1,v2`` drive the same machinery from the shell, and
+``repro report --parallel`` composes the consolidated report from it.
+"""
+
+from repro.experiments.registry import (
+    REPORT_EXPERIMENTS,
+    ExperimentDefinition,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.experiments.runner import Runner, SweepResult, default_cache_dir
+from repro.experiments.spec import RESULT_SCHEMA, ExperimentResult, ExperimentSpec
+
+__all__ = [
+    "ExperimentDefinition",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "REPORT_EXPERIMENTS",
+    "RESULT_SCHEMA",
+    "Runner",
+    "SweepResult",
+    "available_experiments",
+    "default_cache_dir",
+    "get_experiment",
+    "register_experiment",
+]

@@ -1,0 +1,217 @@
+"""Built-in experiment definitions: one per paper table/figure.
+
+Importing this module registers every reproduction entry point —
+``table1``, ``figure1``, ``figure5``, ``figure6``, ``figure7``, ``table3``,
+``headline``, plus the beyond-the-paper ``energy`` sweep and the
+design-space ``design-point`` — with :mod:`repro.experiments.registry`.
+The registry imports it lazily, so :mod:`repro.experiments` never drags the
+analysis layer in at import time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.design_point import (
+    DesignPointResult,
+    build_design_config,
+    reproduce_design_point,
+)
+from repro.analysis.energy import EnergyAnalysisResult, reproduce_energy
+from repro.analysis.figure1 import Figure1Result, reproduce_figure1
+from repro.analysis.figure5 import Figure5Result, reproduce_figure5
+from repro.analysis.figure6 import Figure6Result, reproduce_figure6
+from repro.analysis.figure7 import Figure7Result, reproduce_figure7
+from repro.analysis.headline import HeadlineResult, reproduce_headline_claims
+from repro.analysis.table1 import TableOneResult, reproduce_tables
+from repro.analysis.table3 import Table3Result, reproduce_table3
+from repro.core.complexity import PAPER_FIGURE1_BITWIDTHS
+from repro.experiments.registry import ExperimentDefinition, register_experiment
+from repro.modsram.config import PAPER_CONFIG
+from repro.zkp.opcount import PAPER_FIGURE7_BITWIDTH, PAPER_FIGURE7_VECTOR_SIZE
+
+__all__ = []
+
+
+def _run_figure1(bitwidths, measure, seed):
+    return reproduce_figure1(
+        bitwidths=tuple(int(b) for b in bitwidths), measure=measure, seed=seed
+    )
+
+
+def _run_figure5(rows=None, bitwidth=None, technology_nm=None):
+    config = None
+    if any(value is not None for value in (rows, bitwidth, technology_nm)):
+        config = build_design_config(
+            bitwidth=bitwidth if bitwidth is not None else PAPER_CONFIG.bitwidth,
+            rows=rows,
+            technology_nm=(
+                technology_nm
+                if technology_nm is not None
+                else PAPER_CONFIG.technology_nm
+            ),
+        )
+    return reproduce_figure5(config)
+
+
+def _run_energy(bitwidths):
+    return reproduce_energy(tuple(int(b) for b in bitwidths))
+
+
+register_experiment(
+    ExperimentDefinition(
+        name="table1",
+        title="Tables 1a/1b/2: Booth encoder and LUT contents",
+        description=(
+            "Regenerate the radix-4 Booth encoder truth table and the "
+            "radix-4 / carry-overflow LUTs from the implementation."
+        ),
+        run=reproduce_tables,
+        serialize=TableOneResult.to_dict,
+        deserialize=TableOneResult.from_dict,
+        defaults={"multiplicand": None, "modulus": None},
+        sweep_axes=("multiplicand", "modulus"),
+    )
+)
+
+register_experiment(
+    ExperimentDefinition(
+        name="figure1",
+        title="Figure 1: cycles vs bitwidth across algorithms",
+        description=(
+            "Analytic cycle laws for every algorithm plus cycle-accurate "
+            "ModSRAM measurements over the paper's bitwidth sweep."
+        ),
+        run=_run_figure1,
+        serialize=Figure1Result.to_dict,
+        deserialize=Figure1Result.from_dict,
+        defaults={
+            "bitwidths": list(PAPER_FIGURE1_BITWIDTHS),
+            "measure": True,
+            "seed": 2024,
+        },
+        quick_overrides={"measure": False},
+        sweep_axes=("seed",),
+    )
+)
+
+register_experiment(
+    ExperimentDefinition(
+        name="figure5",
+        title="Figure 5: macro area breakdown",
+        description=(
+            "Parametric area model versus the paper's published breakdown "
+            "and SRAM overhead."
+        ),
+        run=_run_figure5,
+        serialize=Figure5Result.to_dict,
+        deserialize=Figure5Result.from_dict,
+        defaults={"rows": None, "bitwidth": None, "technology_nm": None},
+        sweep_axes=("rows", "bitwidth", "technology_nm"),
+    )
+)
+
+register_experiment(
+    ExperimentDefinition(
+        name="figure6",
+        title="Figure 6: rows required per PIM design",
+        description=(
+            "Row requirements of MeNTT / BP-NTT / ModSRAM for one modular "
+            "multiplication plus ModSRAM's region breakdown."
+        ),
+        run=reproduce_figure6,
+        serialize=Figure6Result.to_dict,
+        deserialize=Figure6Result.from_dict,
+        defaults={"bitwidth": 256},
+        sweep_axes=("bitwidth",),
+    )
+)
+
+register_experiment(
+    ExperimentDefinition(
+        name="figure7",
+        title="Figure 7: ZKP kernel operation counts",
+        description=(
+            "Closed-form NTT/MSM operation counts at the paper's "
+            "2^15-element, 256-bit operating point."
+        ),
+        run=reproduce_figure7,
+        serialize=Figure7Result.to_dict,
+        deserialize=Figure7Result.from_dict,
+        defaults={
+            "vector_size": PAPER_FIGURE7_VECTOR_SIZE,
+            "bitwidth": PAPER_FIGURE7_BITWIDTH,
+            "msm_window_bits": 16,
+        },
+        sweep_axes=("vector_size", "bitwidth"),
+    )
+)
+
+register_experiment(
+    ExperimentDefinition(
+        name="table3",
+        title="Table 3: PIM design comparison",
+        description=(
+            "Every Table 3 row rebuilt from the library's own models, "
+            "optionally with a measured ModSRAM cycle count."
+        ),
+        run=reproduce_table3,
+        serialize=Table3Result.to_dict,
+        deserialize=Table3Result.from_dict,
+        defaults={"bitwidth": 256, "measure": True},
+        quick_overrides={"measure": False},
+        sweep_axes=("bitwidth",),
+    )
+)
+
+register_experiment(
+    ExperimentDefinition(
+        name="headline",
+        title="Headline claims scorecard",
+        description=(
+            "The paper's section 5.3 headline claims, paper value versus "
+            "reproduced value."
+        ),
+        run=reproduce_headline_claims,
+        serialize=HeadlineResult.to_dict,
+        deserialize=HeadlineResult.from_dict,
+        defaults={"measure": True},
+        quick_overrides={"measure": False},
+    )
+)
+
+register_experiment(
+    ExperimentDefinition(
+        name="energy",
+        title="Energy per multiplication (beyond the paper)",
+        description=(
+            "Modelled energy of one modular multiplication across operand "
+            "widths, with the per-mechanism breakdown."
+        ),
+        run=_run_energy,
+        serialize=EnergyAnalysisResult.to_dict,
+        deserialize=EnergyAnalysisResult.from_dict,
+        defaults={"bitwidths": [64, 128, 256]},
+    )
+)
+
+register_experiment(
+    ExperimentDefinition(
+        name="design-point",
+        title="ModSRAM design point (DSE)",
+        description=(
+            "Cycles, latency, area and energy of one ModSRAM configuration; "
+            "sweep bitwidth/rows/technology for design-space exploration."
+        ),
+        run=reproduce_design_point,
+        serialize=DesignPointResult.to_dict,
+        deserialize=DesignPointResult.from_dict,
+        defaults={
+            "bitwidth": 256,
+            "rows": None,
+            "technology_nm": 65,
+            "measure": True,
+            "seed": 5,
+        },
+        quick_overrides={"measure": False},
+        sweep_axes=("bitwidth", "rows", "technology_nm"),
+    )
+)

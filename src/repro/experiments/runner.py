@@ -1,0 +1,284 @@
+"""Parallel experiment execution with content-hash disk caching.
+
+The :class:`Runner` executes :class:`~repro.experiments.spec.ExperimentSpec`
+grids across a :class:`~concurrent.futures.ProcessPoolExecutor` and caches
+every :class:`~repro.experiments.spec.ExperimentResult` on disk under a
+SHA-256 content hash of ``(experiment, resolved params, schema, library
+version)``.  A warm cache therefore performs zero recomputation, and any
+parameter, schema or version change misses cleanly instead of serving
+stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import get_experiment
+from repro.experiments.spec import RESULT_SCHEMA, ExperimentResult, ExperimentSpec
+
+__all__ = ["Runner", "SweepResult", "default_cache_dir"]
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def _library_version() -> str:
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+def content_hash(experiment: str, params: Mapping[str, Any]) -> str:
+    """Deterministic cache key for one resolved experiment invocation."""
+    canonical = json.dumps(
+        {
+            "experiment": experiment,
+            "params": params,
+            "schema": RESULT_SCHEMA,
+            "version": _library_version(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _execute_job(job: Tuple[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Worker entry point: run one resolved point, return a result dict.
+
+    Top-level (not a method) so :class:`ProcessPoolExecutor` can pickle it;
+    the dictionary form crosses the process boundary instead of the result
+    object to keep the wire format identical to the disk format.
+    """
+    name, params = job
+    definition = get_experiment(name)
+    start = time.perf_counter()
+    legacy = definition.execute(params)
+    elapsed = time.perf_counter() - start
+    return ExperimentResult(
+        experiment=name,
+        params=dict(params),
+        payload=definition.serialize(legacy),
+        elapsed_seconds=elapsed,
+    ).to_dict()
+
+
+@dataclass
+class SweepResult:
+    """Every grid point of one executed sweep, in grid order."""
+
+    spec: ExperimentSpec
+    results: List[ExperimentResult]
+
+    @property
+    def cache_hits(self) -> int:
+        """How many points were served from the disk cache."""
+        return sum(1 for result in self.results if result.cache_hit)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total compute time across the executed (non-cached) points."""
+        return sum(
+            result.elapsed_seconds
+            for result in self.results
+            if not result.cache_hit
+        )
+
+    def summary_rows(self) -> List[List[object]]:
+        """One row per point: swept axis values, elapsed time, cache state."""
+        axes = sorted(self.spec.sweep)
+        rows = []
+        for result in self.results:
+            rows.append(
+                [result.params.get(axis) for axis in axes]
+                + [round(result.elapsed_seconds, 3), result.cache_hit]
+            )
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        """Rebuild a sweep from :meth:`to_dict` output (e.g. loaded JSON)."""
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            results=[ExperimentResult.from_dict(entry) for entry in data["results"]],
+        )
+
+
+class Runner:
+    """Executes experiment specs: serial or parallel, cold or cached.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for cached results (default ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro``); created lazily on the first write.
+    use_cache:
+        Read and write the disk cache.  ``False`` always recomputes.
+    parallel:
+        Execute independent grid points across a process pool.
+    max_workers:
+        Pool size cap (default: ``os.cpu_count()``).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.cache_dir = cache_dir or default_cache_dir()
+        self.use_cache = use_cache
+        self.parallel = parallel
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        experiment: str,
+        params: Optional[Mapping[str, Any]] = None,
+        quick: bool = False,
+    ) -> ExperimentResult:
+        """Run one experiment at one parameter point."""
+        return self.run_specs(
+            [ExperimentSpec(experiment, params or {})], quick=quick
+        )[0]
+
+    def run_spec(
+        self, spec: ExperimentSpec, quick: bool = False
+    ) -> List[ExperimentResult]:
+        """Run every grid point of one spec, in grid order."""
+        return self.run_specs([spec], quick=quick)
+
+    def run_specs(
+        self, specs: Sequence[ExperimentSpec], quick: bool = False
+    ) -> List[ExperimentResult]:
+        """Run every grid point of every spec, preserving input order.
+
+        Cached points load without recomputation; the remaining points run
+        serially or across the process pool, then enter the cache.
+        """
+        jobs: List[Tuple[str, Dict[str, Any]]] = []
+        for spec in specs:
+            definition = get_experiment(spec.experiment)
+            for point in spec.points():
+                jobs.append(
+                    (spec.experiment, definition.resolve_params(point, quick=quick))
+                )
+
+        results: List[Optional[ExperimentResult]] = [None] * len(jobs)
+        misses: List[int] = []
+        for index, (name, params) in enumerate(jobs):
+            cached = self._cache_load(name, params) if self.use_cache else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                misses.append(index)
+
+        for index, result in zip(misses, self._execute_many([jobs[i] for i in misses])):
+            results[index] = result
+            if self.use_cache:
+                self._cache_store(result)
+        return [result for result in results if result is not None]
+
+    def sweep(
+        self,
+        experiment: str,
+        axes: Mapping[str, Sequence[Any]],
+        params: Optional[Mapping[str, Any]] = None,
+        quick: bool = False,
+    ) -> SweepResult:
+        """Run a full parameter sweep over ``axes`` (a cartesian grid)."""
+        spec = ExperimentSpec(experiment, params or {}, axes)
+        return SweepResult(spec=spec, results=self.run_spec(spec, quick=quick))
+
+    def _execute_many(
+        self, jobs: List[Tuple[str, Dict[str, Any]]]
+    ) -> List[ExperimentResult]:
+        if not jobs:
+            return []
+        if self.parallel and len(jobs) > 1:
+            workers = min(self.max_workers or os.cpu_count() or 1, len(jobs))
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    dicts = list(pool.map(_execute_job, jobs))
+                return [ExperimentResult.from_dict(entry) for entry in dicts]
+            except (OSError, BrokenProcessPool):
+                # Restricted environments (no process spawning / semaphores)
+                # degrade to the serial path instead of failing the run.
+                pass
+        return [ExperimentResult.from_dict(_execute_job(job)) for job in jobs]
+
+    # ------------------------------------------------------------------ #
+    # disk cache
+    # ------------------------------------------------------------------ #
+    def cache_path(self, experiment: str, params: Mapping[str, Any]) -> str:
+        """Where one resolved invocation is (or would be) cached."""
+        digest = content_hash(experiment, params)
+        return os.path.join(self.cache_dir, f"{experiment}-{digest[:20]}.json")
+
+    def _cache_load(
+        self, experiment: str, params: Mapping[str, Any]
+    ) -> Optional[ExperimentResult]:
+        path = self.cache_path(experiment, params)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            result = ExperimentResult.from_dict(data)
+            if result.experiment != experiment:
+                return None
+        except (OSError, ValueError, KeyError):
+            # Missing, truncated or stale-schema entries are cache misses
+            # (ConfigurationError from a schema mismatch is a ValueError).
+            return None
+        result.cache_hit = True
+        return result
+
+    def _cache_store(self, result: ExperimentResult) -> None:
+        # A cache dir that cannot be created or written must never discard
+        # an already-computed result — degrade to uncached operation.
+        temp_path = None
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            path = self.cache_path(result.experiment, result.params)
+            # Atomic publish so a concurrent reader never sees a partial file.
+            fd, temp_path = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle)
+            os.replace(temp_path, path)
+        except OSError:
+            if temp_path is not None:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass

@@ -1,0 +1,164 @@
+"""Declarative experiment specifications and structured results.
+
+An :class:`ExperimentSpec` names a registered experiment, overrides some of
+its parameters and optionally declares sweep axes; :meth:`ExperimentSpec.points`
+expands the cartesian grid.  An :class:`ExperimentResult` wraps the
+experiment's structured payload so it can be cached to disk, shipped as
+JSON and rendered back into the exact legacy text view.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentSpec", "ExperimentResult", "RESULT_SCHEMA"]
+
+#: Version of the ``ExperimentResult`` serialisation format.  Bumping it
+#: invalidates every on-disk cache entry (the hash key includes it).
+RESULT_SCHEMA = 1
+
+
+def _frozen_mapping(value: Mapping[str, Any]) -> Mapping[str, Any]:
+    return MappingProxyType(dict(value))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative request: one experiment, its parameters, its sweep grid.
+
+    ``params`` override the experiment's registered defaults point-wise;
+    ``sweep`` maps axis names to value lists and turns the spec into a
+    cartesian grid.  A spec is data, not behaviour — hand it to a
+    :class:`~repro.experiments.runner.Runner` to execute it.
+    """
+
+    experiment: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    sweep: Mapping[str, Tuple[Any, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _frozen_mapping(self.params))
+        swept = {name: tuple(values) for name, values in dict(self.sweep).items()}
+        for name, values in swept.items():
+            if not values:
+                raise ConfigurationError(
+                    f"sweep axis {name!r} of experiment "
+                    f"{self.experiment!r} has no values"
+                )
+            if name in self.params:
+                raise ConfigurationError(
+                    f"{name!r} appears both as a fixed parameter and a "
+                    f"sweep axis of experiment {self.experiment!r}"
+                )
+        object.__setattr__(self, "sweep", MappingProxyType(swept))
+
+    @property
+    def is_sweep(self) -> bool:
+        """Whether this spec declares sweep axes."""
+        return bool(self.sweep)
+
+    def points(self) -> List[Dict[str, Any]]:
+        """Every concrete parameter dict of the grid (one without a sweep)."""
+        base = dict(self.params)
+        if not self.sweep:
+            return [base]
+        axes = sorted(self.sweep)
+        grids = []
+        for combo in itertools.product(*(self.sweep[axis] for axis in axes)):
+            point = dict(base)
+            point.update(dict(zip(axes, combo)))
+            grids.append(point)
+        return grids
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "experiment": self.experiment,
+            "params": dict(self.params),
+            "sweep": {name: list(values) for name, values in self.sweep.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (e.g. loaded JSON)."""
+        return cls(
+            experiment=str(data["experiment"]),
+            params=dict(data.get("params", {})),
+            sweep={
+                name: tuple(values)
+                for name, values in dict(data.get("sweep", {})).items()
+            },
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """One executed experiment: resolved parameters plus structured payload.
+
+    The payload is the experiment's own ``to_dict`` serialisation, so
+    :meth:`result` reconstructs the legacy result object and :meth:`render`
+    reproduces the legacy text view byte-for-byte after any number of
+    JSON/disk round trips.
+    """
+
+    experiment: str
+    params: Dict[str, Any]
+    payload: Dict[str, Any]
+    elapsed_seconds: float = 0.0
+    #: Whether this result came from the runner's disk cache.
+    cache_hit: bool = False
+    schema: int = RESULT_SCHEMA
+
+    def result(self) -> Any:
+        """The legacy result object (``Figure1Result``, ``Table3Result``, ...)."""
+        from repro.experiments.registry import get_experiment
+
+        return get_experiment(self.experiment).deserialize(self.payload)
+
+    def render(self) -> str:
+        """The legacy text view of this result."""
+        return self.result().render()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "experiment": self.experiment,
+            "params": dict(self.params),
+            "payload": self.payload,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cache_hit": self.cache_hit,
+            "schema": self.schema,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        schema = int(data.get("schema", RESULT_SCHEMA))
+        if schema != RESULT_SCHEMA:
+            raise ConfigurationError(
+                f"experiment result schema {schema} is not supported "
+                f"(expected {RESULT_SCHEMA})"
+            )
+        return cls(
+            experiment=str(data["experiment"]),
+            params=dict(data["params"]),
+            payload=dict(data["payload"]),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            cache_hit=bool(data.get("cache_hit", False)),
+            schema=schema,
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Deserialise from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.engine import ContextCache, get_backend
@@ -64,3 +66,65 @@ class TestContextCache:
 
     def test_empty_cache_hit_rate_is_zero(self):
         assert ContextCache().stats.hit_rate == 0.0
+
+
+class TestThreadSafety:
+    """Concurrent runners share one cache (prerequisite for parallel sweeps)."""
+
+    THREADS = 8
+    LOOKUPS_PER_THREAD = 50
+    MODULI = (97, 101, 251, 257)
+
+    def test_concurrent_lookups_keep_stats_consistent(self, backend):
+        cache = ContextCache(max_entries=2)
+        errors = []
+
+        def worker(thread_index: int) -> None:
+            try:
+                for step in range(self.LOOKUPS_PER_THREAD):
+                    modulus = self.MODULI[(thread_index + step) % len(self.MODULI)]
+                    context, _ = cache.get_or_create(backend, modulus)
+                    assert context.modulus == modulus
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        total = self.THREADS * self.LOOKUPS_PER_THREAD
+        # Every lookup is accounted exactly once, and the books balance:
+        # entries still resident = misses that were never evicted.
+        assert cache.stats.lookups == total
+        assert cache.stats.hits + cache.stats.misses == total
+        assert cache.stats.misses - cache.stats.evictions == len(cache)
+        assert len(cache) <= 2
+
+    def test_concurrent_same_modulus_builds_one_context(self, backend):
+        cache = ContextCache(max_entries=4)
+        contexts = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker() -> None:
+            barrier.wait()
+            context, _ = cache.get_or_create(backend, 97)
+            contexts.append(context)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(contexts) == self.THREADS
+        assert all(context is contexts[0] for context in contexts)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == self.THREADS - 1

@@ -277,3 +277,43 @@ class TestApplicationSubstrates:
         first = measure_ntt_counts(16, engine=engine)
         second = measure_ntt_counts(16, engine=engine)
         assert first == second  # cached context, counts must not accumulate
+
+
+class TestResultSerialization:
+    """MultiplyResult/BatchResult survive a JSON round trip with metadata."""
+
+    def test_multiply_result_round_trip(self):
+        import json
+
+        from repro.engine import MultiplyResult
+
+        engine = Engine(backend="r4csa-lut", curve="bn254")
+        result = engine.multiply(12345, 67890)
+        loaded = MultiplyResult.from_dict(json.loads(json.dumps(result.as_dict())))
+        assert loaded == result
+        assert loaded.backend == result.backend
+        assert loaded.modulus == result.modulus
+        assert loaded.bitwidth == result.bitwidth
+        assert loaded.modeled_cycles == result.modeled_cycles
+        assert loaded.operations == result.operations
+
+    def test_batch_result_round_trip_preserves_stats(self):
+        import json
+
+        from repro.engine import BatchResult
+
+        engine = Engine(backend="r4csa-lut", curve="bn254")
+        result = engine.multiply_batch([(3, 5), (7, 11), (13, 17)])
+        loaded = BatchResult.from_dict(json.loads(json.dumps(result.as_dict())))
+        assert loaded.values == result.values
+        assert loaded.modeled_cycles == result.modeled_cycles
+        assert loaded.stats.as_dict() == result.stats.as_dict()
+
+    def test_multiply_result_without_cycle_model(self):
+        from repro.engine import MultiplyResult
+
+        engine = Engine(backend="schoolbook", modulus=97)
+        result = engine.multiply(5, 9)
+        assert result.modeled_cycles is None
+        loaded = MultiplyResult.from_dict(result.as_dict())
+        assert loaded.modeled_cycles is None

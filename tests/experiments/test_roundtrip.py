@@ -1,0 +1,71 @@
+"""Golden JSON round-trip tests for every experiment's structured result.
+
+For each registered experiment: run it, serialise the result to JSON, load
+it back, and require the rendered text view to be byte-identical.  This is
+the property the runner's disk cache and the ``--json`` CLI output rely on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+)
+
+#: (experiment, parameter overrides, quick) — cheap enough for tier-1.
+ROUND_TRIP_CASES = (
+    ("table1", {}, False),
+    ("table1", {"multiplicand": 12345, "modulus": 65521}, False),
+    ("figure1", {}, True),
+    ("figure1", {"bitwidths": [8, 16, 32], "measure": True}, False),
+    ("figure5", {}, False),
+    ("figure5", {"technology_nm": 45}, False),
+    ("figure6", {}, False),
+    ("figure6", {"bitwidth": 128}, False),
+    ("figure7", {}, False),
+    ("table3", {}, True),
+    ("table3", {"measure": True}, False),
+    ("headline", {}, True),
+    ("energy", {"bitwidths": [16, 32]}, False),
+    ("design-point", {"bitwidth": 32}, False),
+    ("design-point", {}, True),
+)
+
+
+def run_experiment(name, params, quick):
+    definition = get_experiment(name)
+    resolved = definition.resolve_params(params, quick=quick)
+    legacy = definition.execute(resolved)
+    return definition, resolved, legacy
+
+
+class TestGoldenRoundTrips:
+    @pytest.mark.parametrize("name,params,quick", ROUND_TRIP_CASES)
+    def test_payload_json_round_trip_renders_identically(self, name, params, quick):
+        definition, resolved, legacy = run_experiment(name, params, quick)
+        payload = definition.serialize(legacy)
+        wire = json.loads(json.dumps(payload))
+        assert definition.deserialize(wire).render() == legacy.render()
+
+    @pytest.mark.parametrize("name,params,quick", ROUND_TRIP_CASES)
+    def test_experiment_result_json_round_trip(self, name, params, quick):
+        definition, resolved, legacy = run_experiment(name, params, quick)
+        result = ExperimentResult(
+            experiment=name,
+            params=resolved,
+            payload=definition.serialize(legacy),
+            elapsed_seconds=0.25,
+        )
+        loaded = ExperimentResult.from_json(result.to_json())
+        assert loaded.experiment == name
+        assert loaded.params == json.loads(json.dumps(resolved))
+        assert loaded.render() == legacy.render()
+
+    def test_every_registered_experiment_is_covered(self):
+        covered = {name for name, _, _ in ROUND_TRIP_CASES}
+        assert covered == set(available_experiments())
