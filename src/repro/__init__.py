@@ -29,6 +29,28 @@ the same calls through the cycle-accurate hardware model, and
 baselines as ``pim-*``).  The low-level multiplier classes below remain
 available for direct use.
 
+Fidelity tiers and the chip backend
+-----------------------------------
+The hardware model is a *layered simulation core* (:mod:`repro.modsram`):
+one R4CSA-LUT algorithm body executed at three fidelity tiers, all
+returning bit-identical products —
+
+* ``Engine(backend="modsram")`` — **cycle** tier: word-line-accurate SRAM
+  simulation (767 main-loop cycles at 256 bits on the paper schedule);
+* ``Engine(backend="modsram-fast")`` — **analytical** tier: the same exact
+  cycle reports from closed-form schedule algebra at ~100x the speed (this
+  is the tier for full workloads: ECDSA signing, NTTs, MSM batches);
+* ``ModSRAMFastBackend(fidelity="functional")`` — **functional** tier:
+  products and operation counts only, no cycle model at all.
+
+``Engine(backend="modsram-chip")`` scales out to an N-macro chip whose
+scheduler dispatches the multiplication stream with LUT-reuse-aware
+placement (``ModSRAMChipBackend(macros=16)`` for custom sizes); the
+``chip-scaling`` experiment and ``repro chip`` sweep throughput versus
+macro count on real workload streams.  Backend capability metadata
+(``info.fidelity`` / ``info.macros``) distinguishes the tiers in
+``repro backends --json``.
+
 Reproducing the paper
 ---------------------
 Every table and figure is a registered *experiment* — declarative,
@@ -76,7 +98,7 @@ from repro.engine import (
 )
 from repro.errors import ReproError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BackendInfo",

@@ -20,6 +20,11 @@ same result objects (now JSON round-trippable via ``to_dict`` /
 ``from_dict``) without caching or parallelism.
 """
 
+from repro.analysis.chip_scaling import (
+    ChipScalingPoint,
+    ChipScalingResult,
+    reproduce_chip_scaling,
+)
 from repro.analysis.design_point import DesignPointResult, reproduce_design_point
 from repro.analysis.energy import (
     EnergyAnalysisResult,
@@ -44,6 +49,8 @@ from repro.analysis.table3 import DESIGN_ORDER, Table3Result, reproduce_table3
 from repro.analysis.tables import format_value, render_table
 
 __all__ = [
+    "ChipScalingPoint",
+    "ChipScalingResult",
     "DESIGN_ORDER",
     "DesignPointResult",
     "EnergyAnalysisResult",
@@ -64,6 +71,7 @@ __all__ = [
     "measure_msm_counts",
     "measure_ntt_counts",
     "render_table",
+    "reproduce_chip_scaling",
     "reproduce_design_point",
     "reproduce_energy",
     "reproduce_energy_analysis",

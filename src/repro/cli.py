@@ -10,6 +10,7 @@ ModSRAM model and the Table 3 PIM baselines — is reachable from the shell::
     python -m repro.cli experiment sweep NAME --axis K=V1,V2 [--parallel] [--json]
     python -m repro.cli multiply A B [--modulus P] [--backend NAME] [--curve NAME] [--json]
     python -m repro.cli batch    [--count N] [--backend NAME] [--seed S] [--json]
+    python -m repro.cli chip     [--workload W] [--macros 1,2,4] [--json]
     python -m repro.cli backends [--json]           # backend capability matrix
     python -m repro.cli cycles   [--bitwidth N]     # cycle model + comparison
     python -m repro.cli area     [--rows R] [--bitwidth N] [--technology NM]
@@ -29,6 +30,7 @@ import json
 import random
 from typing import List, Optional
 
+from repro.analysis.chip_scaling import CHIP_WORKLOADS
 from repro.analysis.report import build_report
 from repro.analysis.tables import render_table
 from repro.core.complexity import COMPLEXITY_MODELS
@@ -240,6 +242,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the batch result as JSON"
     )
 
+    chip = subparsers.add_parser(
+        "chip",
+        help="multi-macro chip scale-out of one workload (the chip-scaling "
+             "experiment as a shortcut)",
+    )
+    chip.add_argument(
+        "--workload",
+        choices=sorted(CHIP_WORKLOADS),
+        default="ecdsa-sign",
+        help="multiplication stream to dispatch across the chip",
+    )
+    chip.add_argument(
+        "--macros",
+        default="1,2,4,8,16",
+        help="comma-separated macro counts to scale across",
+    )
+    chip.add_argument("--bitwidth", type=int, default=256, help="operand width")
+    chip.add_argument(
+        "--scalar-bits", type=int, default=256, help="scalar width (ECC/MSM workloads)"
+    )
+    chip.add_argument(
+        "--signatures", type=int, default=1, help="signatures (ecdsa-sign workload)"
+    )
+    chip.add_argument(
+        "--size", type=int, default=4096, help="vector size (ntt workload)"
+    )
+    chip.add_argument(
+        "--points", type=int, default=128, help="point count (msm workload)"
+    )
+    chip.add_argument(
+        "--quick", action="store_true", help="apply the experiment's quick overrides"
+    )
+    chip.add_argument(
+        "--json", action="store_true", help="emit the structured result as JSON"
+    )
+    _add_cache_options(chip)
+
     backends = subparsers.add_parser(
         "backends", help="capability matrix of every registered engine backend"
     )
@@ -415,6 +454,48 @@ def _command_batch(arguments: argparse.Namespace) -> int:
     return 0
 
 
+#: Argparse defaults of the ``chip`` subcommand, mapped to the experiment's
+#: parameter names.  Values the user leaves at their default are *omitted*
+#: from the experiment params so the experiment's own defaults — and, under
+#: ``--quick``, its quick overrides — stay in force; explicit flags always
+#: win, in quick mode too.
+_CHIP_DEFAULTS = {
+    "workload": ("workload", "ecdsa-sign"),
+    "bitwidth": ("bitwidth", 256),
+    "scalar_bits": ("scalar_bits", 256),
+    "signatures": ("signatures", 1),
+    "size": ("vector_size", 4096),
+    "points": ("msm_points", 128),
+}
+
+
+def _command_chip(arguments: argparse.Namespace) -> int:
+    try:
+        macro_counts = [
+            int(value, 0) for value in str(arguments.macros).split(",") if value
+        ]
+    except ValueError:
+        print(f"--macros expects comma-separated integers, got {arguments.macros!r}")
+        return 2
+    if not macro_counts or any(count <= 0 for count in macro_counts):
+        print(f"--macros needs positive macro counts, got {arguments.macros!r}")
+        return 2
+    params = {}
+    for attribute, (param, default) in _CHIP_DEFAULTS.items():
+        value = getattr(arguments, attribute)
+        if value != default:
+            params[param] = value
+    if arguments.macros != "1,2,4,8,16":
+        params["macro_counts"] = macro_counts
+    runner = _make_runner(arguments)
+    result = runner.run("chip-scaling", params, quick=arguments.quick)
+    if arguments.json:
+        print(result.to_json(indent=2))
+        return 0
+    print(result.render())
+    return 0
+
+
 def _command_backends(arguments: argparse.Namespace) -> int:
     infos = [get_backend(name).info for name in available_backends()]
     if arguments.json:
@@ -427,17 +508,21 @@ def _command_backends(arguments: argparse.Namespace) -> int:
             if info.supported_bitwidths is None
             else ", ".join(str(bits) for bits in info.supported_bitwidths)
         )
+        tier = info.fidelity or "-"
+        if info.macros is not None:
+            tier += f" x{info.macros}"
         rows.append(
             (
                 info.name,
                 info.kind,
+                tier,
                 "yes" if info.has_cycle_model else "no",
                 "direct" if info.direct_form else "montgomery",
                 bitwidths,
             )
         )
     print(render_table(
-        ("backend", "kind", "cycle model", "result form", "native bitwidths"),
+        ("backend", "kind", "tier", "cycle model", "result form", "native bitwidths"),
         rows,
         title="Engine backends",
     ))
@@ -497,6 +582,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _command_experiment,
         "multiply": _command_multiply,
         "batch": _command_batch,
+        "chip": _command_chip,
         "backends": _command_backends,
         "cycles": _command_cycles,
         "area": _command_area,

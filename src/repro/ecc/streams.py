@@ -1,0 +1,104 @@
+"""ECC workload streams for chip-level dispatch.
+
+The multi-macro chip model (:mod:`repro.modsram.chip`) consumes workloads
+as streams of :class:`~repro.modsram.chip.MultiplicationJob`; this module
+generates those streams for the elliptic-curve workloads the paper
+motivates ModSRAM with.  Each point operation expands into the
+multiplication sequence of :mod:`repro.modsram.scheduler` with its
+multiplicand names scoped to the operation instance, so the chip scheduler
+sees exactly the LUT-reuse structure one macro would: reuse within an
+operation, refills between operations.
+
+The streams are *structural* (no big-integer operands): they model which
+multiplications a workload performs and which radix-4 LUTs those
+multiplications can share, which is all the chip-level scheduling needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import OperandRangeError
+from repro.modsram.chip import MultiplicationJob
+from repro.modsram.scheduler import DOUBLING_SEQUENCE, MIXED_ADDITION_SEQUENCE
+
+__all__ = [
+    "point_operation_jobs",
+    "scalar_multiplication_stream",
+    "ecdsa_sign_stream",
+]
+
+
+def point_operation_jobs(
+    sequence: Sequence[Tuple[str, str, str]], tag: str
+) -> Iterator[MultiplicationJob]:
+    """Expand one point operation into its multiplication jobs.
+
+    Multiplicand names are scoped to ``tag`` because the live values of one
+    doubling are unrelated to those of the next: ``yy`` of ``dbl[3]`` and
+    ``yy`` of ``dbl[4]`` must not look like a shared LUT.
+    """
+    for _, _, multiplicand in sequence:
+        yield MultiplicationJob(multiplicand=f"{tag}.{multiplicand}", tag=tag)
+
+
+def scalar_multiplication_stream(
+    scalar_bits: int = 256, additions: int = -1
+) -> Iterator[MultiplicationJob]:
+    """Double-and-add scalar multiplication as a multiplication stream.
+
+    ``scalar_bits`` doublings interleaved with ``additions`` mixed
+    additions (default: half the bit length, the expected Hamming weight of
+    a random scalar) — the same projection as
+    :meth:`~repro.modsram.scheduler.PointOperationScheduler.scalar_multiplication_cycles`,
+    but as a dispatchable stream.
+    """
+    if scalar_bits <= 0:
+        raise OperandRangeError(f"scalar_bits must be positive, got {scalar_bits}")
+    if additions < 0:
+        additions = scalar_bits // 2
+    emitted = 0
+    for index in range(scalar_bits):
+        yield from point_operation_jobs(DOUBLING_SEQUENCE, f"dbl[{index}]")
+        # Spread the additions evenly over the doubling ladder, the way the
+        # set bits of a random scalar would interleave them.
+        if emitted < additions and index % 2 == 1:
+            yield from point_operation_jobs(MIXED_ADDITION_SEQUENCE, f"add[{emitted}]")
+            emitted += 1
+    while emitted < additions:
+        yield from point_operation_jobs(MIXED_ADDITION_SEQUENCE, f"add[{emitted}]")
+        emitted += 1
+
+
+def ecdsa_sign_stream(
+    scalar_bits: int = 256, signatures: int = 1
+) -> Iterator[MultiplicationJob]:
+    """One or more full ECDSA signing operations as a multiplication stream.
+
+    Each signature is one ``k · G`` scalar multiplication, a Fermat
+    inversion of the nonce in the scalar field (``scalar_bits`` squarings —
+    each with a fresh multiplicand — plus half as many multiplies), and the
+    two scalar-field products forming ``s``.
+    """
+    if signatures <= 0:
+        raise OperandRangeError(f"signatures must be positive, got {signatures}")
+    for signature in range(signatures):
+        prefix = f"sig[{signature}]"
+        for job in scalar_multiplication_stream(scalar_bits):
+            yield MultiplicationJob(
+                multiplicand=f"{prefix}.{job.multiplicand}", tag=job.tag
+            )
+        # Fermat inversion of the nonce: square-and-multiply over the
+        # scalar field.  Every squaring squares a fresh value (no reuse);
+        # the interleaved multiplies all use the base value k (reusable).
+        for index in range(scalar_bits):
+            yield MultiplicationJob(
+                multiplicand=f"{prefix}.inv.sq[{index}]", tag="inversion"
+            )
+            if index % 2 == 1:
+                yield MultiplicationJob(
+                    multiplicand=f"{prefix}.inv.k", tag="inversion"
+                )
+        # r·d and k⁻¹·(z + r·d).
+        yield MultiplicationJob(multiplicand=f"{prefix}.d", tag="s-computation")
+        yield MultiplicationJob(multiplicand=f"{prefix}.kinv", tag="s-computation")

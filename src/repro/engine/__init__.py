@@ -23,6 +23,8 @@ from repro.engine.backend import (
     BackendInfo,
     EngineContext,
     ModSRAMBackend,
+    ModSRAMChipBackend,
+    ModSRAMFastBackend,
     MultiplierBackend,
     PimBaselineBackend,
     available_backends,
@@ -41,6 +43,8 @@ __all__ = [
     "Engine",
     "EngineContext",
     "ModSRAMBackend",
+    "ModSRAMChipBackend",
+    "ModSRAMFastBackend",
     "MultiplierBackend",
     "MultiplyResult",
     "PimBaselineBackend",

@@ -40,6 +40,8 @@ __all__ = [
     "Backend",
     "MultiplierBackend",
     "ModSRAMBackend",
+    "ModSRAMChipBackend",
+    "ModSRAMFastBackend",
     "PimBaselineBackend",
     "register_backend",
     "get_backend",
@@ -63,6 +65,11 @@ class BackendInfo:
     direct_form: bool
     #: Bitwidths the original design natively supports (``None`` = any).
     supported_bitwidths: Optional[Tuple[int, ...]] = None
+    #: Simulation fidelity tier of accelerator backends (``"cycle"``,
+    #: ``"analytical"``, ``"functional"``; ``None`` for non-tiered backends).
+    fidelity: Optional[str] = None
+    #: Macro count of chip-level backends (``None`` for single-macro ones).
+    macros: Optional[int] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Metadata as a plain dictionary (for ``--json`` output)."""
@@ -77,6 +84,8 @@ class BackendInfo:
                 if self.supported_bitwidths is not None
                 else None
             ),
+            "fidelity": self.fidelity,
+            "macros": self.macros,
         }
 
 
@@ -151,6 +160,8 @@ class MultiplierBackend(Backend):
         multiplier_name: str,
         kind: str = "software",
         supported_bitwidths: Optional[Tuple[int, ...]] = None,
+        info_fidelity: Optional[str] = None,
+        info_macros: Optional[int] = None,
         **multiplier_kwargs: Any,
     ) -> None:
         self._multiplier_cls = get_multiplier(multiplier_name)
@@ -163,6 +174,8 @@ class MultiplierBackend(Backend):
             has_cycle_model=probe.cycles(256) is not None,
             direct_form=probe.direct_form,
             supported_bitwidths=supported_bitwidths,
+            fidelity=info_fidelity,
+            macros=info_macros,
         )
 
     def _new_multiplier(self) -> ModularMultiplier:
@@ -197,8 +210,62 @@ class ModSRAMBackend(MultiplierBackend):
     """
 
     def __init__(self, config: Optional[object] = None) -> None:
+        import repro.modsram.multiplier  # noqa: F401 - registers the adapters
+
         kwargs = {"config": config} if config is not None else {}
-        super().__init__("modsram", kind="accelerator", **kwargs)
+        super().__init__(
+            "modsram", kind="accelerator", info_fidelity="cycle", **kwargs
+        )
+
+
+class ModSRAMFastBackend(MultiplierBackend):
+    """The fast fidelity tiers (``modsram-fast``) behind the backend interface.
+
+    Products are kernel-identical to ``modsram``; the default
+    ``fidelity="analytical"`` keeps the exact cycle model while
+    ``fidelity="functional"`` trades it away for raw throughput (the
+    backend then reports ``has_cycle_model=False``).
+    """
+
+    def __init__(
+        self, config: Optional[object] = None, fidelity: str = "analytical"
+    ) -> None:
+        import repro.modsram.multiplier  # noqa: F401 - registers the adapters
+        from repro.modsram.fidelity import Fidelity
+
+        tier = Fidelity.coerce(fidelity)
+        kwargs: Dict[str, Any] = {"fidelity": tier}
+        if config is not None:
+            kwargs["config"] = config
+        super().__init__(
+            "modsram-fast",
+            kind="accelerator",
+            info_fidelity=tier.value,
+            **kwargs,
+        )
+
+
+class ModSRAMChipBackend(MultiplierBackend):
+    """An N-macro ModSRAM chip (``modsram-chip``) behind the backend interface.
+
+    Each multiplication is dispatched LUT-reuse-aware across ``macros``
+    analytical macros; ``context.multiplier.activity()`` exposes the
+    chip-level schedule (per-macro load, reuse rate, throughput).
+    """
+
+    def __init__(self, config: Optional[object] = None, macros: int = 4) -> None:
+        import repro.modsram.multiplier  # noqa: F401 - registers the adapters
+
+        kwargs: Dict[str, Any] = {"macros": macros}
+        if config is not None:
+            kwargs["config"] = config
+        super().__init__(
+            "modsram-chip",
+            kind="accelerator",
+            info_fidelity="analytical",
+            info_macros=macros,
+            **kwargs,
+        )
 
 
 class PimBaselineBackend(Backend):
@@ -265,11 +332,17 @@ def _build_default_backends() -> None:
     import repro.modsram.multiplier  # noqa: F401
     from repro.baselines.base import available_designs
 
+    accelerator_backends = {
+        "modsram": ModSRAMBackend,
+        "modsram-fast": ModSRAMFastBackend,
+        "modsram-chip": ModSRAMChipBackend,
+    }
     for name in available_multipliers():
         if name in _REGISTRY:
             continue
-        if name == "modsram":
-            _REGISTRY[name] = ModSRAMBackend()
+        backend_cls = accelerator_backends.get(name)
+        if backend_cls is not None:
+            _REGISTRY[name] = backend_cls()
         else:
             _REGISTRY[name] = MultiplierBackend(name)
     for key in available_designs():

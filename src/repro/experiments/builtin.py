@@ -2,14 +2,16 @@
 
 Importing this module registers every reproduction entry point —
 ``table1``, ``figure1``, ``figure5``, ``figure6``, ``figure7``, ``table3``,
-``headline``, plus the beyond-the-paper ``energy`` sweep and the
-design-space ``design-point`` — with :mod:`repro.experiments.registry`.
+``headline``, plus the beyond-the-paper ``energy`` sweep, the design-space
+``design-point`` and the multi-macro ``chip-scaling`` exhibit — with
+:mod:`repro.experiments.registry`.
 The registry imports it lazily, so :mod:`repro.experiments` never drags the
 analysis layer in at import time.
 """
 
 from __future__ import annotations
 
+from repro.analysis.chip_scaling import ChipScalingResult, reproduce_chip_scaling
 from repro.analysis.design_point import (
     DesignPointResult,
     build_design_config,
@@ -190,6 +192,51 @@ register_experiment(
         serialize=EnergyAnalysisResult.to_dict,
         deserialize=EnergyAnalysisResult.from_dict,
         defaults={"bitwidths": [64, 128, 256]},
+    )
+)
+
+def _run_chip_scaling(
+    workload, macro_counts, bitwidth, scalar_bits, signatures, vector_size, msm_points
+):
+    return reproduce_chip_scaling(
+        workload=workload,
+        macro_counts=tuple(int(count) for count in macro_counts),
+        bitwidth=bitwidth,
+        scalar_bits=scalar_bits,
+        signatures=signatures,
+        vector_size=vector_size,
+        msm_points=msm_points,
+    )
+
+
+register_experiment(
+    ExperimentDefinition(
+        name="chip-scaling",
+        title="Chip scale-out: N-macro throughput on real workloads",
+        description=(
+            "Dispatch an ECDSA/NTT/MSM multiplication stream across chips "
+            "of increasing macro count with the LUT-reuse-aware scheduler; "
+            "report throughput, reuse rate, speedup and efficiency."
+        ),
+        run=_run_chip_scaling,
+        serialize=ChipScalingResult.to_dict,
+        deserialize=ChipScalingResult.from_dict,
+        defaults={
+            "workload": "ecdsa-sign",
+            "macro_counts": [1, 2, 4, 8, 16],
+            "bitwidth": 256,
+            "scalar_bits": 256,
+            "signatures": 1,
+            "vector_size": 4096,
+            "msm_points": 128,
+        },
+        quick_overrides={
+            "macro_counts": [1, 2, 4],
+            "scalar_bits": 64,
+            "vector_size": 256,
+            "msm_points": 16,
+        },
+        sweep_axes=("workload", "bitwidth", "vector_size", "msm_points", "signatures"),
     )
 )
 

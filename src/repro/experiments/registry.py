@@ -36,6 +36,7 @@ REPORT_EXPERIMENTS = (
     "figure7",
     "table3",
     "headline",
+    "chip-scaling",
 )
 
 

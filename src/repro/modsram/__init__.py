@@ -1,9 +1,17 @@
 """ModSRAM: the 8T SRAM PIM accelerator co-designed with R4CSA-LUT.
 
-The cycle-level model (:class:`ModSRAMAccelerator`) executes the algorithm
-on the simulated array; the surrounding modules provide the memory map, the
-near-memory datapath, the controller FSM, the area model behind Figure 5 and
-the :class:`ModSRAMMultiplier` adapter that plugs the hardware model into
+The package is a *layered simulation core*: one R4CSA-LUT algorithm body
+(:mod:`repro.modsram.kernel`) executed at three fidelity tiers —
+``functional`` (:class:`FunctionalModSRAM`: product + operation counts),
+``analytical`` (:class:`AnalyticalModSRAM`: exact closed-form cycle/energy
+reports) and ``cycle`` (:class:`ModSRAMAccelerator`: the word-line-accurate
+SRAM model with pluggable :class:`TraceSink` collection) — selected via
+:func:`build_simulator`.  On top of the analytical tier,
+:class:`Chip` scales the macro out to an N-macro chip whose scheduler
+dispatches multiplication streams with LUT-reuse-aware placement.  The
+surrounding modules provide the memory map, the near-memory datapath, the
+controller FSM, the area model behind Figure 5 and the multiplier adapters
+(``modsram``, ``modsram-fast``, ``modsram-chip``) that plug the tiers into
 any code written against the generic multiplier interface.
 """
 
@@ -12,6 +20,7 @@ from repro.modsram.accelerator import (
     ModSRAMAccelerator,
     MultiplicationResult,
 )
+from repro.modsram.analytical import AnalyticalCostModel, AnalyticalModSRAM
 from repro.modsram.area import (
     PAPER_AREA_MM2,
     PAPER_AREA_OVERHEAD_PERCENT,
@@ -20,11 +29,19 @@ from repro.modsram.area import (
     AreaModel,
     AreaParameters,
 )
+from repro.modsram.chip import Chip, ChipSchedule, ChipScheduler, MultiplicationJob
 from repro.modsram.config import PAPER_CONFIG, ModSRAMConfig
 from repro.modsram.controller import Controller, ControllerState, CycleBudget
 from repro.modsram.datapath import DatapathStats, NearMemoryDatapath
+from repro.modsram.fidelity import Fidelity, build_simulator
+from repro.modsram.functional import FastHost, FunctionalModSRAM, FunctionalResult
+from repro.modsram.kernel import KernelHost, KernelOutcome, LutResidency, run_kernel
 from repro.modsram.memory_map import MemoryMap, MemoryUtilization
-from repro.modsram.multiplier import ModSRAMMultiplier
+from repro.modsram.multiplier import (
+    ModSRAMChipMultiplier,
+    ModSRAMFastMultiplier,
+    ModSRAMMultiplier,
+)
 from repro.modsram.scheduler import (
     PointOperationSchedule,
     PointOperationScheduler,
@@ -32,6 +49,7 @@ from repro.modsram.scheduler import (
 )
 from repro.modsram.system import ModSRAMSystem, SystemProjection, Workload
 from repro.modsram.trace import CycleEvent, ExecutionTrace, Phase
+from repro.modsram.tracesink import NULL_SINK, NullTraceSink, TraceSink
 from repro.modsram.verification import (
     EquivalenceChecker,
     VerificationCase,
@@ -39,9 +57,14 @@ from repro.modsram.verification import (
 )
 
 __all__ = [
+    "AnalyticalCostModel",
+    "AnalyticalModSRAM",
     "AreaBreakdown",
     "AreaModel",
     "AreaParameters",
+    "Chip",
+    "ChipSchedule",
+    "ChipScheduler",
     "Controller",
     "ControllerState",
     "CycleBudget",
@@ -50,14 +73,26 @@ __all__ = [
     "DatapathStats",
     "EquivalenceChecker",
     "ExecutionTrace",
+    "FastHost",
+    "Fidelity",
+    "FunctionalModSRAM",
+    "FunctionalResult",
+    "KernelHost",
+    "KernelOutcome",
+    "LutResidency",
     "MemoryMap",
     "MemoryUtilization",
     "ModSRAMAccelerator",
+    "ModSRAMChipMultiplier",
     "ModSRAMConfig",
+    "ModSRAMFastMultiplier",
     "ModSRAMMultiplier",
     "ModSRAMSystem",
+    "MultiplicationJob",
     "MultiplicationResult",
+    "NULL_SINK",
     "NearMemoryDatapath",
+    "NullTraceSink",
     "PAPER_AREA_MM2",
     "PAPER_AREA_OVERHEAD_PERCENT",
     "PAPER_BREAKDOWN_PERCENT",
@@ -67,7 +102,10 @@ __all__ = [
     "PointOperationScheduler",
     "ScheduledMultiplication",
     "SystemProjection",
+    "TraceSink",
     "VerificationCase",
     "VerificationReport",
     "Workload",
+    "build_simulator",
+    "run_kernel",
 ]

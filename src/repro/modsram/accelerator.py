@@ -1,29 +1,43 @@
 """Cycle-level model of the ModSRAM accelerator.
 
-:class:`ModSRAMAccelerator` executes the R4CSA-LUT algorithm on the
-behavioural SRAM substrate: every LUT entry, operand and intermediate lives
-in an actual simulated word line, every carry-save addition is performed by
-the logic-SA sense-amplifier model on three simultaneously activated rows,
-every write-back goes through the write port, and the controller FSM charges
-exactly one clock cycle per array access.  The result is both the product
-(verified against the big-integer oracle in the tests) and a cycle/area/
-energy report that reproduces the paper's evaluation numbers (767 main-loop
-cycles at 256 bits under the paper's schedule).
+:class:`ModSRAMAccelerator` is the **cycle** fidelity tier of the layered
+simulation core: it executes the shared R4CSA-LUT algorithm body
+(:mod:`repro.modsram.kernel`) on the behavioural SRAM substrate.  Every LUT
+entry, operand and intermediate lives in an actual simulated word line,
+every carry-save addition is performed by the logic-SA sense-amplifier model
+on three simultaneously activated rows, every write-back goes through the
+write port, and the controller FSM charges exactly one clock cycle per array
+access.  The result is both the product (verified against the big-integer
+oracle in the tests) and a cycle/area/energy report that reproduces the
+paper's evaluation numbers (767 main-loop cycles at 256 bits under the
+paper's schedule).
+
+Trace collection is a pluggable :class:`~repro.modsram.tracesink.TraceSink`:
+the default run allocates no per-cycle events at all; pass ``trace=True``
+(or an explicit ``trace_sink``) to collect the full Figure 3-style
+walk-through.  The cheaper **functional** and **analytical** tiers live in
+:mod:`repro.modsram.functional` and :mod:`repro.modsram.analytical` and run
+the same kernel without the SRAM substrate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.core.luts import RADIX4_DIGIT_ORDER, build_overflow_lut, build_radix4_lut
-from repro.errors import ControllerError, OperandRangeError
 from repro.instrumentation import OperationCounter
 from repro.modsram.config import ModSRAMConfig
-from repro.modsram.controller import Controller, ControllerState, CycleBudget
+from repro.modsram.controller import Controller, ControllerState
 from repro.modsram.datapath import NearMemoryDatapath
+from repro.modsram.kernel import (
+    NMC_COUNTER_OF_KIND,
+    KernelHost,
+    LutResidency,
+    run_kernel,
+)
 from repro.modsram.memory_map import MemoryMap
+from repro.modsram.report import CycleReport, MultiplicationResult
 from repro.modsram.trace import CycleEvent, ExecutionTrace, Phase
+from repro.modsram.tracesink import NULL_SINK, TraceSink
 from repro.sram.array import SramArray
 from repro.sram.decoder import DecoderBank
 from repro.sram.sense_amp import LogicSenseAmpModule
@@ -31,63 +45,15 @@ from repro.sram.sense_amp import LogicSenseAmpModule
 __all__ = ["CycleReport", "MultiplicationResult", "ModSRAMAccelerator"]
 
 
-@dataclass(frozen=True)
-class CycleReport:
-    """Cycle accounting for one modular multiplication."""
-
-    iterations: int
-    load_cycles: int
-    precompute_cycles: int
-    iteration_cycles: int
-    finalize_cycles: int
-    extra_overflow_folds: int
-    lut_reused: bool
-    frequency_mhz: float
-
-    @property
-    def total_cycles(self) -> int:
-        """Every cycle spent, including loading and LUT precomputation."""
-        return (
-            self.load_cycles
-            + self.precompute_cycles
-            + self.iteration_cycles
-            + self.finalize_cycles
-        )
-
-    @property
-    def latency_us(self) -> float:
-        """Wall-clock latency of the main loop at the modelled frequency."""
-        return self.iteration_cycles / self.frequency_mhz
-
-    def as_dict(self) -> Dict[str, float]:
-        """Report as a dictionary for the analysis layer."""
-        return {
-            "iterations": self.iterations,
-            "load_cycles": self.load_cycles,
-            "precompute_cycles": self.precompute_cycles,
-            "iteration_cycles": self.iteration_cycles,
-            "finalize_cycles": self.finalize_cycles,
-            "extra_overflow_folds": self.extra_overflow_folds,
-            "total_cycles": self.total_cycles,
-            "lut_reused": int(self.lut_reused),
-            "frequency_mhz": self.frequency_mhz,
-            "latency_us": self.latency_us,
-        }
-
-
-@dataclass(frozen=True)
-class MultiplicationResult:
-    """Product plus the execution metadata of one run."""
-
-    product: int
-    report: CycleReport
-    trace: ExecutionTrace
-
-
-class ModSRAMAccelerator:
+class ModSRAMAccelerator(KernelHost):
     """Executes 256-bit (or any configured width) modular multiplication in SRAM."""
 
-    def __init__(self, config: Optional[ModSRAMConfig] = None, trace: bool = False) -> None:
+    def __init__(
+        self,
+        config: Optional[ModSRAMConfig] = None,
+        trace: bool = False,
+        trace_sink: Optional[TraceSink] = None,
+    ) -> None:
         self.config = config or ModSRAMConfig()
         self.memory_map = MemoryMap(self.config)
         self.array = SramArray(
@@ -102,18 +68,31 @@ class ModSRAMAccelerator:
         self.decoders = DecoderBank.for_array(self.config.rows)
         self.datapath = NearMemoryDatapath(self.config)
         self.counter = OperationCounter("modsram")
-        self.trace_enabled = trace
-        self.trace = ExecutionTrace(enabled=trace)
-        # Cached LUT state for data reuse across multiplications.
-        self._cached_multiplicand: Optional[int] = None
-        self._cached_modulus: Optional[int] = None
+        self.trace_enabled = trace or trace_sink is not None
+        #: Legacy per-multiplication trace; rebuilt on each multiply when the
+        #: accelerator owns its sink (``trace=True``).
+        self.trace = ExecutionTrace(enabled=trace and trace_sink is None)
+        self._external_sink = trace_sink
+        self._sink: TraceSink = trace_sink if trace_sink is not None else (
+            self.trace if trace else NULL_SINK
+        )
+        self._controller: Optional[Controller] = None
+        # Resident LUT state for data reuse across multiplications.
+        self.lut_residency = LutResidency()
 
     # ------------------------------------------------------------------ #
-    # low-level array operations (each is one clock cycle)
+    # kernel-host interface (each array access is one clock cycle)
     # ------------------------------------------------------------------ #
-    def _write_row(
+    def transition(self, state: ControllerState) -> None:
+        assert self._controller is not None
+        self._controller.transition(state)
+
+    def begin_iteration(self, iteration: int) -> None:
+        assert self._controller is not None
+        self._controller.begin_iteration(iteration)
+
+    def write_row(
         self,
-        controller: Controller,
         phase: Phase,
         row: int,
         value: int,
@@ -122,21 +101,22 @@ class ModSRAMAccelerator:
     ) -> None:
         self.decoders.write_decoder.decode([row])
         self.array.write_row(row, value)
-        cycle = controller.tick(phase)
+        cycle = self._controller.tick(phase)
         self.counter.increment("memory_write")
-        self.trace.record(
-            CycleEvent(
-                cycle=cycle,
-                phase=phase,
-                iteration=iteration,
-                rows_written=(row,),
-                note=note,
+        sink = self._sink
+        if sink.active:
+            sink.record(
+                CycleEvent(
+                    cycle=cycle,
+                    phase=phase,
+                    iteration=iteration,
+                    rows_written=(row,),
+                    note=note,
+                )
             )
-        )
 
-    def _read_row(
+    def read_row(
         self,
-        controller: Controller,
         phase: Phase,
         row: int,
         iteration: Optional[int] = None,
@@ -144,35 +124,41 @@ class ModSRAMAccelerator:
     ) -> int:
         self.decoders.read_decoder.decode([row])
         readout = self.array.activate_rows([row])
-        cycle = controller.tick(phase)
+        cycle = self._controller.tick(phase)
         self.counter.increment("memory_read")
-        self.trace.record(
-            CycleEvent(
-                cycle=cycle,
-                phase=phase,
-                iteration=iteration,
-                rows_read=(row,),
-                note=note,
+        sink = self._sink
+        if sink.active:
+            sink.record(
+                CycleEvent(
+                    cycle=cycle,
+                    phase=phase,
+                    iteration=iteration,
+                    rows_read=(row,),
+                    note=note,
+                )
             )
-        )
         return readout.exact_value()
 
-    def _nmc_cycle(
+    def nmc_cycle(
         self,
-        controller: Controller,
         phase: Phase,
         note: str,
         iteration: Optional[int] = None,
+        kind: str = "nmc",
     ) -> None:
         """One clock cycle spent purely in the near-memory circuit."""
-        cycle = controller.tick(phase)
-        self.trace.record(
-            CycleEvent(cycle=cycle, phase=phase, iteration=iteration, note=note)
-        )
+        cycle = self._controller.tick(phase)
+        counter_name = NMC_COUNTER_OF_KIND.get(kind)
+        if counter_name is not None:
+            self.counter.increment(counter_name)
+        sink = self._sink
+        if sink.active:
+            sink.record(
+                CycleEvent(cycle=cycle, phase=phase, iteration=iteration, note=note)
+            )
 
-    def _imc_access(
+    def imc_access(
         self,
-        controller: Controller,
         phase: Phase,
         rows: Tuple[int, int, int],
         iteration: int,
@@ -183,354 +169,51 @@ class ModSRAMAccelerator:
         self.decoders.read_decoder.decode(list(rows))
         readout = self.array.activate_rows(list(rows))
         result = self.sense_module.evaluate(readout)
-        cycle = controller.tick(phase)
+        cycle = self._controller.tick(phase)
         self.counter.increment("imc_access")
-        self.trace.record(
-            CycleEvent(
-                cycle=cycle,
-                phase=phase,
-                iteration=iteration,
-                rows_read=rows,
-                digit=digit,
-                overflow_index=overflow_index,
+        sink = self._sink
+        if sink.active:
+            sink.record(
+                CycleEvent(
+                    cycle=cycle,
+                    phase=phase,
+                    iteration=iteration,
+                    rows_read=rows,
+                    digit=digit,
+                    overflow_index=overflow_index,
+                )
             )
-        )
         return result.xor3, result.maj
-
-    # ------------------------------------------------------------------ #
-    # operand loading and LUT precomputation
-    # ------------------------------------------------------------------ #
-    def _validate_operands(self, a: int, b: int, modulus: int) -> None:
-        n = self.config.bitwidth
-        if modulus <= 2:
-            raise OperandRangeError(f"modulus must be greater than 2, got {modulus}")
-        if modulus.bit_length() > n:
-            raise OperandRangeError(
-                f"modulus needs {modulus.bit_length()} bits but the macro is "
-                f"configured for {n}"
-            )
-        if modulus.bit_length() < n - 2:
-            raise OperandRangeError(
-                f"the macro is sized for {n}-bit moduli but the modulus only "
-                f"needs {modulus.bit_length()} bits; reconfigure with "
-                "ModSRAMConfig.with_bitwidth(modulus.bit_length()) so the "
-                "redundant registers and the final reduction stay bounded"
-            )
-        for name, operand in (("a", a), ("b", b)):
-            if not 0 <= operand < modulus:
-                raise OperandRangeError(
-                    f"operand {name} must satisfy 0 <= {name} < p, got {operand}"
-                )
-        if not self.config.extend_for_full_range:
-            top_bit = 2 * self.config.iterations - 1
-            if (a >> top_bit) & 1:
-                raise OperandRangeError(
-                    "the paper-mode schedule (extend_for_full_range=False) "
-                    "requires the multiplier's top bit to be clear; operand a "
-                    f"has bit {top_bit} set — use a full-range configuration"
-                )
-
-    def _load_operands(self, controller: Controller, a: int, b: int, modulus: int) -> None:
-        """Write A, B, p to their word lines and latch the multiplier."""
-        controller.transition(ControllerState.LOAD)
-        mm = self.memory_map
-        self._write_row(controller, Phase.LOAD_MULTIPLIER, mm.multiplier_row, a, note="A")
-        self._write_row(controller, Phase.LOAD_MULTIPLIER, mm.multiplicand_row, b, note="B")
-        self._write_row(controller, Phase.LOAD_MULTIPLIER, mm.modulus_row, modulus, note="p")
-        # Clear the accumulator rows left over from any previous result.
-        self._write_row(
-            controller, Phase.LOAD_MULTIPLIER, mm.sum_row, 0, note="clear sum"
-        )
-        self._write_row(
-            controller, Phase.LOAD_MULTIPLIER, mm.carry_row, 0, note="clear carry"
-        )
-        multiplier = self._read_row(
-            controller, Phase.LOAD_MULTIPLIER, mm.multiplier_row, note="A -> FF"
-        )
-        self.datapath.load_multiplier(multiplier)
-        self.datapath.set_accumulator_msbs(0, 0)
-        self.datapath.set_shift_overflow(0)
-        self.datapath.set_pending_carry_out(0)
-
-    def _precompute_luts(self, controller: Controller, b: int, modulus: int) -> bool:
-        """Fill the radix-4 and overflow LUT word lines.
-
-        Returns ``True`` when the cached tables were reused (same
-        multiplicand and modulus as the previous multiplication), in which
-        case no cycles are charged — this is the data-reuse behaviour the
-        paper highlights.
-        """
-        reused = (
-            self._cached_multiplicand == b and self._cached_modulus == modulus
-        )
-        controller.transition(ControllerState.PRECOMPUTE)
-        if reused:
-            return True
-
-        mm = self.memory_map
-        radix4 = build_radix4_lut(b, modulus)
-        overflow = build_overflow_lut(
-            modulus, self.config.register_width, entry_count=len(mm.overflow_rows)
-        )
-        # Near-memory computation of the non-trivial entries is charged one
-        # cycle per modular add/subtract (see DESIGN.md §4); the writes are
-        # one cycle per word line like any other write.
-        compute_cycles = radix4.computed_entry_count() * 2 + (len(overflow) - 1) * 2
-        for _ in range(compute_cycles):
-            self._nmc_cycle(controller, Phase.PRECOMPUTE, "nmc LUT computation")
-        self.counter.add("nmc_compute", compute_cycles)
-
-        for digit in RADIX4_DIGIT_ORDER:
-            self._write_row(
-                controller,
-                Phase.PRECOMPUTE,
-                mm.radix4_row(digit),
-                radix4[digit],
-                note=f"LUT-radix4[{digit:+d}]",
-            )
-        for index, row in enumerate(mm.overflow_rows):
-            self._write_row(
-                controller,
-                Phase.PRECOMPUTE,
-                row,
-                overflow[index],
-                note=f"LUT-overflow[{index}]",
-            )
-        self._cached_multiplicand = b
-        self._cached_modulus = modulus
-        return False
-
-    # ------------------------------------------------------------------ #
-    # main loop
-    # ------------------------------------------------------------------ #
-    def _carry_save_step(
-        self,
-        controller: Controller,
-        phase: Phase,
-        lut_row: int,
-        iteration: int,
-        digit: Optional[int],
-        overflow_index: Optional[int],
-    ) -> Tuple[int, int, int]:
-        """One in-memory carry-save addition against a LUT row.
-
-        The logic-SA produces XOR3/MAJ of the low ``n`` bits; the near-memory
-        logic extends them with bit ``n`` of the redundant registers (the LUT
-        entry's bit ``n`` is always zero because every entry is below the
-        modulus).  Returns the full-width new sum, the new carry (already
-        shifted left by one) and the carry word's escaped top bit.
-        """
-        n = self.config.bitwidth
-        width = self.config.register_width
-        mm = self.memory_map
-
-        xor_low, maj_low = self._imc_access(
-            controller,
-            phase,
-            (lut_row, mm.sum_row, mm.carry_row),
-            iteration,
-            digit=digit,
-            overflow_index=overflow_index,
-        )
-        sum_msb = self.datapath.sum_msb
-        carry_msb = self.datapath.carry_msb
-        xor_top = sum_msb ^ carry_msb
-        maj_top = sum_msb & carry_msb
-
-        new_sum = xor_low | (xor_top << n)
-        maj_word = maj_low | (maj_top << n)
-        shifted_carry = maj_word << 1
-        escaped = shifted_carry >> width
-        new_carry = shifted_carry & ((1 << width) - 1)
-        self.datapath.latch_imc_result(new_sum, maj_word)
-        return new_sum, new_carry, escaped
-
-    def _writeback(
-        self,
-        controller: Controller,
-        value: int,
-        row: int,
-        msb_setter: str,
-        shift: int,
-        iteration: int,
-        note: str,
-    ) -> int:
-        """Write a redundant register back to its row, optionally pre-shifted.
-
-        Returns the overflow bits that escaped the register because of the
-        shift (captured by the near-memory overflow flip-flops).
-        """
-        n = self.config.bitwidth
-        width = self.config.register_width
-        shifted = value << shift
-        overflow = shifted >> width
-        shifted &= (1 << width) - 1
-        phase = Phase.WRITEBACK_SUM if msb_setter == "sum" else Phase.WRITEBACK_CARRY
-        self._write_row(
-            controller, phase, row, shifted & ((1 << n) - 1), iteration, note
-        )
-        if msb_setter == "sum":
-            self.datapath.set_accumulator_msbs((shifted >> n) & 1, self.datapath.carry_msb)
-        else:
-            self.datapath.set_accumulator_msbs(self.datapath.sum_msb, (shifted >> n) & 1)
-        return overflow
-
-    def _run_iterations(
-        self, controller: Controller, modulus: int
-    ) -> Tuple[int, int, int, int]:
-        """Execute the main loop; returns (sum, carry, pending, extra_folds)."""
-        mm = self.memory_map
-        width = self.config.register_width
-        iterations = self.config.iterations
-        controller.transition(ControllerState.ITERATE)
-
-        extra_folds = 0
-        final_sum = 0
-        final_carry = 0
-        pending_weight_bits = 0
-
-        for iteration in range(iterations):
-            controller.begin_iteration(iteration)
-            last = iteration == iterations - 1
-            digit = self.datapath.booth_digit(iteration, iterations)
-
-            # ---- first section: add the Booth-digit entry ---------------- #
-            new_sum, new_carry, escaped = self._carry_save_step(
-                controller,
-                Phase.IMC_RADIX4,
-                mm.radix4_row(digit),
-                iteration,
-                digit=digit,
-                overflow_index=None,
-            )
-            self._writeback(
-                controller, new_sum, mm.sum_row, "sum", 0, iteration, "sum"
-            )
-            self._writeback(
-                controller, new_carry, mm.carry_row, "carry", 0, iteration, "carry<<1"
-            )
-
-            # ---- second section: fold the overflow back in ---------------- #
-            overflow_index = self.datapath.overflow_index(escaped)
-            remaining = overflow_index
-            pending_bits = 0
-            while True:
-                fold = min(remaining, len(mm.overflow_rows) - 1)
-                new_sum, new_carry, escaped = self._carry_save_step(
-                    controller,
-                    Phase.IMC_OVERFLOW,
-                    mm.overflow_row(fold),
-                    iteration,
-                    digit=None,
-                    overflow_index=fold,
-                )
-                pending_bits += escaped
-                remaining -= fold
-                if remaining == 0:
-                    break
-                # Pathological overflow (never observed for real operands,
-                # see DESIGN.md): write the partial result back and fold again.
-                extra_folds += 1
-                self._writeback(
-                    controller, new_sum, mm.sum_row, "sum", 0, iteration, "sum (extra fold)"
-                )
-                self._writeback(
-                    controller, new_carry, mm.carry_row, "carry", 0, iteration,
-                    "carry (extra fold)",
-                )
-
-            # ---- write back, pre-shifted for the next iteration ----------- #
-            if last:
-                # No shift after the final iteration; the carry write-back is
-                # elided (the finaliser consumes it straight from the FF).
-                self._writeback(
-                    controller, new_sum, mm.sum_row, "sum", 0, iteration, "sum (final)"
-                )
-                final_sum = new_sum
-                final_carry = new_carry
-                pending_weight_bits = pending_bits
-            else:
-                sum_overflow = self._writeback(
-                    controller, new_sum, mm.sum_row, "sum", 2, iteration, "sum<<2"
-                )
-                carry_overflow = self._writeback(
-                    controller, new_carry, mm.carry_row, "carry", 2, iteration, "carry<<2"
-                )
-                self.datapath.set_shift_overflow(sum_overflow + carry_overflow)
-                self.datapath.set_pending_carry_out(min(pending_bits, 1))
-                if pending_bits > 1:
-                    # More than one escaped bit can only happen on an extra
-                    # fold; keep correctness by folding the surplus into the
-                    # shift-overflow field (weight 4 after the shift).
-                    self.datapath.set_shift_overflow(
-                        sum_overflow + carry_overflow + 4 * (pending_bits - 1)
-                    )
-
-        return final_sum, final_carry, pending_weight_bits, extra_folds
-
-    def _finalize(
-        self,
-        controller: Controller,
-        sum_word: int,
-        carry_word: int,
-        pending: int,
-        modulus: int,
-    ) -> int:
-        """Final full addition and reduction performed near-memory."""
-        controller.transition(ControllerState.FINALIZE)
-        mm = self.memory_map
-        n = self.config.bitwidth
-        width = self.config.register_width
-
-        # Read the sum row back (one cycle); the carry is still in the FF.
-        stored_sum_low = self._read_row(
-            controller, Phase.FINALIZE, mm.sum_row, note="sum -> adder"
-        )
-        stored_sum = stored_sum_low | (self.datapath.sum_msb << n)
-        if stored_sum != sum_word:
-            raise ControllerError(
-                "sum row/register mismatch at finalisation: the array holds "
-                f"{stored_sum:#x} but the datapath computed {sum_word:#x}"
-            )
-
-        total = stored_sum + carry_word + (pending << width)
-        self._nmc_cycle(controller, Phase.FINALIZE, "full addition of sum and carry")
-        self.counter.increment("nmc_full_add")
-        while total >= modulus:
-            total -= modulus
-            self._nmc_cycle(controller, Phase.FINALIZE, "conditional subtraction")
-            self.counter.increment("nmc_subtract")
-        controller.transition(ControllerState.DONE)
-        return total
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     def multiply(self, a: int, b: int, modulus: int) -> MultiplicationResult:
         """Compute ``a * b mod modulus`` on the simulated macro."""
-        self._validate_operands(a, b, modulus)
-        self.trace = ExecutionTrace(enabled=self.trace_enabled)
-        controller = Controller(self.config.iterations)
+        if self._external_sink is None:
+            # The accelerator owns its trace: one ExecutionTrace per run,
+            # enabled only when the caller opted in at construction.
+            self.trace = ExecutionTrace(enabled=self.trace_enabled)
+            self._sink = self.trace if self.trace_enabled else NULL_SINK
+        self._controller = Controller(self.config.iterations)
 
-        self._load_operands(controller, a, b, modulus)
-        reused = self._precompute_luts(controller, b, modulus)
-        sum_word, carry_word, pending, extra_folds = self._run_iterations(
-            controller, modulus
-        )
-        product = self._finalize(controller, sum_word, carry_word, pending, modulus)
+        outcome = run_kernel(self, a, b, modulus)
 
+        budget = self._controller.budget
         report = CycleReport(
             iterations=self.config.iterations,
-            load_cycles=controller.budget.load_cycles,
-            precompute_cycles=controller.budget.precompute_cycles,
-            iteration_cycles=controller.budget.iteration_cycles,
-            finalize_cycles=controller.budget.finalize_cycles,
-            extra_overflow_folds=extra_folds,
-            lut_reused=reused,
+            load_cycles=budget.load_cycles,
+            precompute_cycles=budget.precompute_cycles,
+            iteration_cycles=budget.iteration_cycles,
+            finalize_cycles=budget.finalize_cycles,
+            extra_overflow_folds=outcome.extra_overflow_folds,
+            lut_reused=outcome.lut_reused,
             frequency_mhz=self.config.frequency_mhz,
         )
         self.counter.increment("modmul")
-        return MultiplicationResult(product=product, report=report, trace=self.trace)
+        return MultiplicationResult(
+            product=outcome.product, report=report, trace=self.trace
+        )
 
     def multiply_many(
         self, pairs: List[Tuple[int, int]], modulus: int

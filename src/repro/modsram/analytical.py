@@ -1,0 +1,193 @@
+"""Analytical fidelity tier: closed-form cycle/energy accounting.
+
+:class:`AnalyticalCostModel` captures the ModSRAM schedule as algebra — the
+per-phase cycle counts the controller FSM would measure, and the array
+access profile the energy model consumes — without simulating a single word
+line.  :class:`AnalyticalModSRAM` combines that algebra with the shared
+kernel running on the fast register-file host
+(:class:`~repro.modsram.functional.FastHost`), so it returns the same
+:class:`~repro.modsram.report.MultiplicationResult` shape as the
+cycle-accurate tier with *exactly* matching cycle reports (asserted field by
+field in ``tests/modsram/test_fidelity.py``) at functional-tier speed.  The
+only quantities taken from the kernel run rather than closed form are the
+data-dependent ones: LUT reuse, pathological extra overflow folds and the
+final conditional-subtraction count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.modsram.config import ModSRAMConfig, RADIX4_LUT_ROWS
+from repro.modsram.functional import FastHost
+from repro.modsram.kernel import run_kernel
+from repro.modsram.memory_map import MemoryMap
+from repro.modsram.report import CycleReport, MultiplicationResult
+from repro.modsram.trace import ExecutionTrace
+from repro.sram.energy import EnergyBreakdown
+from repro.sram.stats import ArrayStats
+
+__all__ = ["AnalyticalCostModel", "AnalyticalModSRAM"]
+
+#: Radix-4 LUT entries that require near-memory computation (2B, -B, -2B);
+#: each costs two cycles (a modular add/subtract is two array-free cycles).
+_COMPUTED_RADIX4_ENTRIES = 3
+
+
+class AnalyticalCostModel:
+    """Closed-form per-phase cycle and access algebra of one macro."""
+
+    def __init__(self, config: Optional[ModSRAMConfig] = None) -> None:
+        self.config = config or ModSRAMConfig()
+        self._overflow_rows = len(MemoryMap(self.config).overflow_rows)
+
+    # ------------------------------------------------------------------ #
+    # cycle algebra (matches the controller budget exactly)
+    # ------------------------------------------------------------------ #
+    def load_cycles(self) -> int:
+        """Operand loading: five row writes plus the multiplier read."""
+        return 6
+
+    def lut_fill_cycles(self, reused: bool = False) -> int:
+        """Full LUT precomputation for a fresh (multiplicand, modulus) pair.
+
+        Two cycles per computed radix-4 entry, two per non-trivial overflow
+        entry, plus one write per LUT word line.  Zero when the resident
+        tables are reused.
+        """
+        if reused:
+            return 0
+        compute = 2 * _COMPUTED_RADIX4_ENTRIES + 2 * (self._overflow_rows - 1)
+        writes = RADIX4_LUT_ROWS + self._overflow_rows
+        return compute + writes
+
+    def radix4_refill_cycles(self) -> int:
+        """Refilling only the radix-4 rows (modulus unchanged): 5 writes + 6."""
+        return RADIX4_LUT_ROWS + 2 * _COMPUTED_RADIX4_ENTRIES
+
+    def iteration_cycles(self, extra_folds: int = 0) -> int:
+        """Main loop: six cycles per iteration, last carry write-back elided.
+
+        Each pathological extra overflow fold costs three more cycles (two
+        write-backs plus one additional logic-SA access).
+        """
+        return 6 * self.config.iterations - 1 + 3 * extra_folds
+
+    def finalize_cycles(self, subtractions: int = 1) -> int:
+        """Finalisation: sum read, full addition, then the reduction steps."""
+        return 2 + subtractions
+
+    def total_cycles(
+        self,
+        reused: bool = False,
+        extra_folds: int = 0,
+        subtractions: int = 1,
+    ) -> int:
+        """Every cycle of one multiplication under the schedule algebra."""
+        return (
+            self.load_cycles()
+            + self.lut_fill_cycles(reused)
+            + self.iteration_cycles(extra_folds)
+            + self.finalize_cycles(subtractions)
+        )
+
+    def report(
+        self,
+        reused: bool = False,
+        extra_folds: int = 0,
+        subtractions: int = 1,
+    ) -> CycleReport:
+        """The :class:`CycleReport` the cycle-accurate tier would measure."""
+        return CycleReport(
+            iterations=self.config.iterations,
+            load_cycles=self.load_cycles(),
+            precompute_cycles=self.lut_fill_cycles(reused),
+            iteration_cycles=self.iteration_cycles(extra_folds),
+            finalize_cycles=self.finalize_cycles(subtractions),
+            extra_overflow_folds=extra_folds,
+            lut_reused=reused,
+            frequency_mhz=self.config.frequency_mhz,
+        )
+
+    # ------------------------------------------------------------------ #
+    # access algebra (feeds the sram-layer energy model)
+    # ------------------------------------------------------------------ #
+    def array_stats(
+        self, reused: bool = False, extra_folds: int = 0
+    ) -> ArrayStats:
+        """The :class:`ArrayStats` profile one multiplication implies.
+
+        This is the closed-form counterpart of what the behavioural array
+        collects: the energy model consumes either interchangeably.
+        """
+        iterations = self.config.iterations
+        columns = self.config.columns
+        lut_writes = 0 if reused else RADIX4_LUT_ROWS + self._overflow_rows
+        row_writes = 5 + lut_writes + 4 * iterations - 1 + 2 * extra_folds
+        compute_reads = 2 * iterations + extra_folds
+        row_reads = 2 + compute_reads  # multiplier load + finalisation read
+        return ArrayStats(
+            row_writes=row_writes,
+            row_reads=row_reads,
+            compute_reads=compute_reads,
+            rows_activated=2 + 3 * compute_reads,
+            precharges=row_reads,
+            bits_written=row_writes * columns,
+            read_disturb_events=0,
+        )
+
+    def energy(
+        self,
+        reused: bool = False,
+        extra_folds: int = 0,
+        register_bits_written: int = 0,
+    ) -> EnergyBreakdown:
+        """Closed-form energy of one multiplication on this macro."""
+        return self.config.energy.from_stats(
+            self.array_stats(reused, extra_folds), register_bits_written
+        )
+
+
+class AnalyticalModSRAM:
+    """Kernel-exact products with closed-form cycle and energy reports."""
+
+    def __init__(self, config: Optional[ModSRAMConfig] = None) -> None:
+        self.config = config or ModSRAMConfig()
+        self.cost_model = AnalyticalCostModel(self.config)
+        self.host = FastHost(self.config)
+
+    @property
+    def lut_residency(self):
+        """Resident-LUT state (shared semantics with the cycle tier)."""
+        return self.host.lut_residency
+
+    def multiply(self, a: int, b: int, modulus: int) -> MultiplicationResult:
+        """Compute ``a * b mod modulus``; cycles come from the cost model."""
+        outcome = run_kernel(self.host, a, b, modulus)
+        self.host.counter.increment("modmul")
+        report = self.cost_model.report(
+            reused=outcome.lut_reused,
+            extra_folds=outcome.extra_overflow_folds,
+            subtractions=outcome.finalize_subtractions,
+        )
+        return MultiplicationResult(
+            product=outcome.product,
+            report=report,
+            trace=ExecutionTrace(enabled=False),
+        )
+
+    def multiply_many(
+        self, pairs: List[Tuple[int, int]], modulus: int
+    ) -> List[MultiplicationResult]:
+        """Multiply a batch of operand pairs, reusing LUTs where possible."""
+        return [self.multiply(a, b, modulus) for a, b in pairs]
+
+    def expected_iteration_cycles(self) -> int:
+        """The analytic main-loop cycle count for this configuration."""
+        return self.config.expected_iteration_cycles
+
+    def energy_report(self) -> EnergyBreakdown:
+        """Energy implied by every access performed so far (cumulative)."""
+        return self.config.energy.from_stats(
+            self.host.stats, self.host.datapath.stats.register_bits_written
+        )

@@ -1,0 +1,288 @@
+"""Multi-macro chip model: scale-out of the ModSRAM macro.
+
+§5.2 of the paper sizes one 64-row macro so a point operation's operands
+stay resident while its multiplications execute; this module generalises
+that scheduling argument from one macro to a *chip* of ``N`` macros.  A
+workload arrives as a stream of :class:`MultiplicationJob`\\ s — each naming
+the multiplicand whose radix-4 LUT it needs — and the chip-level scheduler
+places every job on the macro where it finishes earliest, which makes the
+placement LUT-reuse-aware: a macro whose resident LUT already matches skips
+the refill and therefore usually wins the placement race.
+
+Two layers share the placement core:
+
+* :class:`ChipScheduler` schedules *abstract* streams (no operand values)
+  with the analytical cost algebra — this is what the ``chip-scaling``
+  experiment runs at 2^16-NTT scale;
+* :class:`Chip` *executes* real multiplications on ``N`` analytical-tier
+  macros (the substrate behind the ``modsram-chip`` engine backend),
+  charging each macro the exact per-multiplication cycle report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.modsram.analytical import AnalyticalCostModel, AnalyticalModSRAM
+from repro.modsram.config import ModSRAMConfig
+from repro.modsram.report import MultiplicationResult
+from repro.sram.stats import ArrayStats
+
+__all__ = ["MultiplicationJob", "ChipSchedule", "ChipScheduler", "Chip"]
+
+
+@dataclass(frozen=True)
+class MultiplicationJob:
+    """One modular multiplication of a workload stream.
+
+    ``multiplicand`` is the LUT-reuse key: two consecutive jobs on the same
+    macro with equal keys share the resident radix-4 LUT.  ``tag`` is a free
+    annotation naming the originating operation (``"double[17]"``,
+    ``"ntt:s3"``, ...) for diagnostics.
+    """
+
+    multiplicand: str
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class ChipSchedule:
+    """Outcome of dispatching one stream across a chip's macros."""
+
+    operation: str
+    macros: int
+    jobs: int
+    per_macro_jobs: Tuple[int, ...]
+    per_macro_cycles: Tuple[int, ...]
+    lut_refills: int
+    frequency_mhz: float
+
+    @property
+    def makespan_cycles(self) -> int:
+        """Cycles until the busiest macro finishes (the chip's latency)."""
+        return max(self.per_macro_cycles) if self.per_macro_cycles else 0
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles summed over every macro (the chip's energy-relevant work)."""
+        return sum(self.per_macro_cycles)
+
+    @property
+    def lut_reuse_rate(self) -> float:
+        """Fraction of jobs that reused a resident radix-4 LUT."""
+        if not self.jobs:
+            return 0.0
+        return 1.0 - self.lut_refills / self.jobs
+
+    @property
+    def utilization(self) -> float:
+        """How evenly the stream spread (1.0 = perfectly balanced)."""
+        if not self.jobs or self.makespan_cycles == 0:
+            return 0.0
+        return self.total_cycles / (self.macros * self.makespan_cycles)
+
+    @property
+    def latency_ms(self) -> float:
+        """Wall-clock makespan at the macro clock."""
+        return self.makespan_cycles / (self.frequency_mhz * 1e6) * 1e3
+
+    @property
+    def throughput_mops(self) -> float:
+        """Modular multiplications per second (in millions) at the clock."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.jobs / (self.makespan_cycles / (self.frequency_mhz * 1e6)) / 1e6
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat summary for reports and JSON payloads."""
+        return {
+            "operation": self.operation,
+            "macros": self.macros,
+            "jobs": self.jobs,
+            "per_macro_jobs": list(self.per_macro_jobs),
+            "per_macro_cycles": list(self.per_macro_cycles),
+            "lut_refills": self.lut_refills,
+            "lut_reuse_rate": self.lut_reuse_rate,
+            "makespan_cycles": self.makespan_cycles,
+            "total_cycles": self.total_cycles,
+            "utilization": self.utilization,
+            "latency_ms": self.latency_ms,
+            "throughput_mops": self.throughput_mops,
+            "frequency_mhz": self.frequency_mhz,
+        }
+
+
+class _PlacementState:
+    """Finish-time-greedy, LUT-reuse-aware placement shared by both layers."""
+
+    def __init__(self, macros: int, iteration_cycles: int, refill_cycles: int) -> None:
+        if macros <= 0:
+            raise ConfigurationError(f"macros must be positive, got {macros}")
+        self.macros = macros
+        self.iteration_cycles = iteration_cycles
+        self.refill_cycles = refill_cycles
+        self.loads = [0] * macros
+        self.jobs = [0] * macros
+        self.resident: List[Optional[str]] = [None] * macros
+        self.refills = 0
+
+    def place(self, key: str) -> Tuple[int, bool]:
+        """Place one job; returns ``(macro_index, lut_reused)``.
+
+        The job lands where it finishes earliest.  A macro with the matching
+        resident LUT saves the refill cycles, so it wins unless it is
+        already more than one refill ahead of the least-loaded macro; ties
+        break toward the reusing macro, then the lowest index.
+        """
+        best_macro = 0
+        best_cost = None
+        best_reused = False
+        for macro in range(self.macros):
+            reused = self.resident[macro] == key
+            cost = self.loads[macro] + self.iteration_cycles
+            if not reused:
+                cost += self.refill_cycles
+            if (
+                best_cost is None
+                or cost < best_cost
+                or (cost == best_cost and reused and not best_reused)
+            ):
+                best_macro, best_cost, best_reused = macro, cost, reused
+        self.loads[best_macro] = best_cost
+        self.jobs[best_macro] += 1
+        self.resident[best_macro] = key
+        if not best_reused:
+            self.refills += 1
+        return best_macro, best_reused
+
+    def charge(self, macro: int, actual_cycles: int, nominal_cycles: int) -> None:
+        """Replace a nominal placement charge with measured cycles."""
+        self.loads[macro] += actual_cycles - nominal_cycles
+
+
+class ChipScheduler:
+    """Schedules abstract multiplication streams onto an N-macro chip.
+
+    Uses the analytical cost algebra: every job costs the configuration's
+    main-loop cycles plus (when the resident LUT does not match) the
+    radix-4 refill — the same constants as the single-macro
+    :class:`~repro.modsram.scheduler.PointOperationScheduler`, generalised
+    to a pool of macros.
+    """
+
+    def __init__(
+        self, macros: int = 4, config: Optional[ModSRAMConfig] = None
+    ) -> None:
+        if macros <= 0:
+            raise ConfigurationError(f"macros must be positive, got {macros}")
+        self.macros = macros
+        self.config = config or ModSRAMConfig()
+        self.cost_model = AnalyticalCostModel(self.config)
+
+    def schedule(
+        self,
+        jobs: Iterable[MultiplicationJob],
+        operation: str = "stream",
+    ) -> ChipSchedule:
+        """Dispatch one stream; returns the chip-level schedule summary."""
+        state = _PlacementState(
+            self.macros,
+            self.cost_model.iteration_cycles(),
+            self.cost_model.radix4_refill_cycles(),
+        )
+        count = 0
+        for job in jobs:
+            state.place(job.multiplicand)
+            count += 1
+        return ChipSchedule(
+            operation=operation,
+            macros=self.macros,
+            jobs=count,
+            per_macro_jobs=tuple(state.jobs),
+            per_macro_cycles=tuple(state.loads),
+            lut_refills=state.refills,
+            frequency_mhz=self.config.frequency_mhz,
+        )
+
+
+class Chip:
+    """``N`` analytical-tier macros executing real multiplications.
+
+    Every :meth:`multiply` is placed LUT-reuse-aware (the key is the actual
+    multiplicand value and modulus) and executed on that macro's
+    :class:`AnalyticalModSRAM`, whose exact cycle report is charged to the
+    macro's busy time.  :meth:`activity` summarises the accumulated
+    schedule in the same :class:`ChipSchedule` shape the abstract scheduler
+    produces.
+    """
+
+    def __init__(
+        self, macros: int = 4, config: Optional[ModSRAMConfig] = None
+    ) -> None:
+        if macros <= 0:
+            raise ConfigurationError(f"macros must be positive, got {macros}")
+        self.config = config or ModSRAMConfig()
+        self.cost_model = AnalyticalCostModel(self.config)
+        self._macros = [AnalyticalModSRAM(self.config) for _ in range(macros)]
+        self._state = _PlacementState(
+            macros,
+            self.cost_model.iteration_cycles(),
+            self.cost_model.lut_fill_cycles(),
+        )
+
+    @property
+    def macros(self) -> int:
+        """Number of macros on the chip."""
+        return len(self._macros)
+
+    def macro(self, index: int) -> AnalyticalModSRAM:
+        """Direct access to one macro (tests, diagnostics)."""
+        return self._macros[index]
+
+    def multiply(self, a: int, b: int, modulus: int) -> MultiplicationResult:
+        """Place and execute one multiplication on the best macro."""
+        key = f"{b:#x}@{modulus:#x}"
+        macro_index, reused = self._state.place(key)
+        nominal = self._state.iteration_cycles + (
+            0 if reused else self._state.refill_cycles
+        )
+        result = self._macros[macro_index].multiply(a, b, modulus)
+        actual = result.report.iteration_cycles + result.report.precompute_cycles
+        self._state.charge(macro_index, actual, nominal)
+        return result
+
+    def multiply_many(
+        self, pairs: List[Tuple[int, int]], modulus: int
+    ) -> List[MultiplicationResult]:
+        """Dispatch a batch of operand pairs across the chip."""
+        return [self.multiply(a, b, modulus) for a, b in pairs]
+
+    def activity(self, operation: str = "executed") -> ChipSchedule:
+        """Schedule summary of everything executed so far."""
+        state = self._state
+        return ChipSchedule(
+            operation=operation,
+            macros=self.macros,
+            jobs=sum(state.jobs),
+            per_macro_jobs=tuple(state.jobs),
+            per_macro_cycles=tuple(state.loads),
+            lut_refills=state.refills,
+            frequency_mhz=self.config.frequency_mhz,
+        )
+
+    def stats(self):
+        """Chip-wide access profile: every macro's stats merged."""
+        merged = ArrayStats()
+        for macro in self._macros:
+            merged = merged.merged_with(macro.host.stats)
+        return merged
+
+    def energy_report(self):
+        """Energy implied by everything executed so far, chip-wide."""
+        register_bits = sum(
+            macro.host.datapath.stats.register_bits_written
+            for macro in self._macros
+        )
+        return self.config.energy.from_stats(self.stats(), register_bits)

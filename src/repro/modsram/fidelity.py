@@ -1,0 +1,68 @@
+"""Fidelity-tier selection for the layered simulation core.
+
+One algorithm body (:mod:`repro.modsram.kernel`), three interchangeable
+execution tiers:
+
+``functional``
+    Product + operation counts only; no SRAM substrate, no cycle model.
+    (:class:`~repro.modsram.functional.FunctionalModSRAM`)
+``analytical``
+    Product + exact closed-form cycle/energy reports; no per-cycle events.
+    (:class:`~repro.modsram.analytical.AnalyticalModSRAM`)
+``cycle``
+    The word-line-accurate model with the controller FSM, the logic-SA
+    sense amplifiers and opt-in trace sinks.
+    (:class:`~repro.modsram.accelerator.ModSRAMAccelerator`)
+
+All three expose ``multiply(a, b, modulus)`` / ``multiply_many`` returning
+objects with a ``.product``; the analytical and cycle tiers additionally
+return a ``.report`` (:class:`~repro.modsram.report.CycleReport`) that the
+tests require to match field by field.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.modsram.accelerator import ModSRAMAccelerator
+from repro.modsram.analytical import AnalyticalModSRAM
+from repro.modsram.config import ModSRAMConfig
+from repro.modsram.functional import FunctionalModSRAM
+
+__all__ = ["Fidelity", "build_simulator"]
+
+
+class Fidelity(str, Enum):
+    """How much of the hardware one simulation run resolves."""
+
+    FUNCTIONAL = "functional"
+    ANALYTICAL = "analytical"
+    CYCLE = "cycle"
+
+    @classmethod
+    def coerce(cls, value: Union[str, "Fidelity"]) -> "Fidelity":
+        """Accept enum members or their string names, with a clear error."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown fidelity {value!r}; choose from "
+                f"{[member.value for member in cls]}"
+            ) from None
+
+
+def build_simulator(
+    fidelity: Union[str, Fidelity] = Fidelity.CYCLE,
+    config: Optional[ModSRAMConfig] = None,
+):
+    """Instantiate the simulator for a fidelity tier (string or enum)."""
+    tier = Fidelity.coerce(fidelity)
+    if tier is Fidelity.FUNCTIONAL:
+        return FunctionalModSRAM(config)
+    if tier is Fidelity.ANALYTICAL:
+        return AnalyticalModSRAM(config)
+    return ModSRAMAccelerator(config)

@@ -1,0 +1,443 @@
+"""The R4CSA-LUT algorithm body, shared by every fidelity tier.
+
+The layered simulation core runs *one* algorithm — load operands, fill the
+radix-4/overflow LUTs, iterate Booth digit + overflow-fold carry-save
+additions, finalise — against interchangeable execution hosts:
+
+* the **cycle** tier (:class:`~repro.modsram.accelerator.ModSRAMAccelerator`)
+  executes every step on the simulated SRAM substrate: word-line writes,
+  three-row logic-SA accesses, the controller FSM, the decoders;
+* the **functional** tier (:mod:`repro.modsram.functional`) executes the
+  same steps on a plain register file with bitwise XOR3/MAJ, producing the
+  identical product and operation counts at a fraction of the cost;
+* the **analytical** tier (:mod:`repro.modsram.analytical`) reuses the
+  functional host and derives exact cycle/energy reports from closed-form
+  schedule algebra instead of per-cycle simulation.
+
+Because the tiers share this body, product parity across fidelity levels is
+structural rather than coincidental (``tests/modsram/test_fidelity.py``
+checks it on randomised 254/256-bit operands anyway).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.luts import RADIX4_DIGIT_ORDER, build_overflow_lut, build_radix4_lut
+from repro.errors import ControllerError, OperandRangeError
+from repro.modsram.config import ModSRAMConfig
+from repro.modsram.controller import ControllerState
+from repro.modsram.memory_map import MemoryMap
+from repro.modsram.trace import Phase
+
+__all__ = [
+    "KernelHost",
+    "KernelOutcome",
+    "LutResidency",
+    "NMC_COUNTER_OF_KIND",
+    "run_kernel",
+    "validate_operands",
+]
+
+#: Counter name charged for each near-memory cycle ``kind`` the kernel
+#: passes to :meth:`KernelHost.nmc_cycle`; shared by every host so the
+#: tiers' operation counts cannot drift apart.
+NMC_COUNTER_OF_KIND = {
+    "lut_compute": "nmc_compute",
+    "full_add": "nmc_full_add",
+    "subtract": "nmc_subtract",
+}
+
+
+@dataclass
+class LutResidency:
+    """Which (multiplicand, modulus) LUTs are resident on a host's rows."""
+
+    multiplicand: Optional[int] = None
+    modulus: Optional[int] = None
+
+    def matches(self, multiplicand: int, modulus: int) -> bool:
+        """Whether the resident tables serve this multiplication unchanged."""
+        return self.multiplicand == multiplicand and self.modulus == modulus
+
+    def retain(self, multiplicand: int, modulus: int) -> None:
+        """Mark the tables for this pair as resident."""
+        self.multiplicand = multiplicand
+        self.modulus = modulus
+
+    def invalidate(self) -> None:
+        """Drop residency (e.g. after external writes to the LUT rows)."""
+        self.multiplicand = None
+        self.modulus = None
+
+
+@dataclass(frozen=True)
+class KernelOutcome:
+    """Everything one kernel run reports back to its tier."""
+
+    product: int
+    lut_reused: bool
+    extra_overflow_folds: int
+    #: Conditional subtractions performed during finalisation (each is one
+    #: near-memory cycle in the cycle-accurate schedule).
+    finalize_subtractions: int
+
+
+class KernelHost(abc.ABC):
+    """Execution substrate the algorithm body runs against.
+
+    A host provides storage rows, the near-memory datapath registers and the
+    per-step accounting of its fidelity tier.  Every method maps to exactly
+    one clock cycle in the cycle-accurate schedule; cheaper tiers may charge
+    it to a counter or ignore it entirely.
+    """
+
+    config: ModSRAMConfig
+    memory_map: MemoryMap
+    datapath: "object"  # NearMemoryDatapath-compatible
+    lut_residency: LutResidency
+
+    @abc.abstractmethod
+    def transition(self, state: ControllerState) -> None:
+        """Move the controller FSM (a no-op for tiers without one)."""
+
+    @abc.abstractmethod
+    def begin_iteration(self, iteration: int) -> None:
+        """Mark the start of a main-loop iteration."""
+
+    @abc.abstractmethod
+    def write_row(
+        self,
+        phase: Phase,
+        row: int,
+        value: int,
+        iteration: Optional[int] = None,
+        note: str = "",
+    ) -> None:
+        """Write a full row through the write port (one cycle)."""
+
+    @abc.abstractmethod
+    def read_row(
+        self,
+        phase: Phase,
+        row: int,
+        iteration: Optional[int] = None,
+        note: str = "",
+    ) -> int:
+        """Read one row through the read port (one cycle)."""
+
+    @abc.abstractmethod
+    def nmc_cycle(
+        self,
+        phase: Phase,
+        note: str,
+        iteration: Optional[int] = None,
+        kind: str = "nmc",
+    ) -> None:
+        """One cycle spent purely in the near-memory circuit.
+
+        ``kind`` names the operation for the host's accounting:
+        ``"lut_compute"``, ``"full_add"`` or ``"subtract"``.
+        """
+
+    @abc.abstractmethod
+    def imc_access(
+        self,
+        phase: Phase,
+        rows: Tuple[int, int, int],
+        iteration: int,
+        digit: Optional[int] = None,
+        overflow_index: Optional[int] = None,
+    ) -> Tuple[int, int]:
+        """One logic-SA access: activate three rows, sense XOR3 and MAJ."""
+
+
+def validate_operands(config: ModSRAMConfig, a: int, b: int, modulus: int) -> None:
+    """Operand preconditions shared by every tier (macro sizing, ranges)."""
+    n = config.bitwidth
+    if modulus <= 2:
+        raise OperandRangeError(f"modulus must be greater than 2, got {modulus}")
+    if modulus.bit_length() > n:
+        raise OperandRangeError(
+            f"modulus needs {modulus.bit_length()} bits but the macro is "
+            f"configured for {n}"
+        )
+    if modulus.bit_length() < n - 2:
+        raise OperandRangeError(
+            f"the macro is sized for {n}-bit moduli but the modulus only "
+            f"needs {modulus.bit_length()} bits; reconfigure with "
+            "ModSRAMConfig.with_bitwidth(modulus.bit_length()) so the "
+            "redundant registers and the final reduction stay bounded"
+        )
+    for name, operand in (("a", a), ("b", b)):
+        if not 0 <= operand < modulus:
+            raise OperandRangeError(
+                f"operand {name} must satisfy 0 <= {name} < p, got {operand}"
+            )
+    if not config.extend_for_full_range:
+        top_bit = 2 * config.iterations - 1
+        if (a >> top_bit) & 1:
+            raise OperandRangeError(
+                "the paper-mode schedule (extend_for_full_range=False) "
+                "requires the multiplier's top bit to be clear; operand a "
+                f"has bit {top_bit} set — use a full-range configuration"
+            )
+
+
+def _load_operands(host: KernelHost, a: int, b: int, modulus: int) -> None:
+    """Write A, B, p to their word lines and latch the multiplier."""
+    host.transition(ControllerState.LOAD)
+    mm = host.memory_map
+    host.write_row(Phase.LOAD_MULTIPLIER, mm.multiplier_row, a, note="A")
+    host.write_row(Phase.LOAD_MULTIPLIER, mm.multiplicand_row, b, note="B")
+    host.write_row(Phase.LOAD_MULTIPLIER, mm.modulus_row, modulus, note="p")
+    # Clear the accumulator rows left over from any previous result.
+    host.write_row(Phase.LOAD_MULTIPLIER, mm.sum_row, 0, note="clear sum")
+    host.write_row(Phase.LOAD_MULTIPLIER, mm.carry_row, 0, note="clear carry")
+    multiplier = host.read_row(Phase.LOAD_MULTIPLIER, mm.multiplier_row, note="A -> FF")
+    host.datapath.load_multiplier(multiplier)
+    host.datapath.set_accumulator_msbs(0, 0)
+    host.datapath.set_shift_overflow(0)
+    host.datapath.set_pending_carry_out(0)
+
+
+def _precompute_luts(host: KernelHost, b: int, modulus: int) -> bool:
+    """Fill the radix-4 and overflow LUT word lines.
+
+    Returns ``True`` when the resident tables were reused (same multiplicand
+    and modulus as the previous multiplication), in which case no cycles are
+    charged — this is the data-reuse behaviour the paper highlights.
+    """
+    reused = host.lut_residency.matches(b, modulus)
+    host.transition(ControllerState.PRECOMPUTE)
+    if reused:
+        return True
+
+    mm = host.memory_map
+    radix4 = build_radix4_lut(b, modulus)
+    overflow = build_overflow_lut(
+        modulus, host.config.register_width, entry_count=len(mm.overflow_rows)
+    )
+    # Near-memory computation of the non-trivial entries is charged one
+    # cycle per modular add/subtract (see DESIGN.md §4); the writes are
+    # one cycle per word line like any other write.
+    compute_cycles = radix4.computed_entry_count() * 2 + (len(overflow) - 1) * 2
+    for _ in range(compute_cycles):
+        host.nmc_cycle(Phase.PRECOMPUTE, "nmc LUT computation", kind="lut_compute")
+
+    for digit in RADIX4_DIGIT_ORDER:
+        host.write_row(
+            Phase.PRECOMPUTE,
+            mm.radix4_row(digit),
+            radix4[digit],
+            note=f"LUT-radix4[{digit:+d}]",
+        )
+    for index, row in enumerate(mm.overflow_rows):
+        host.write_row(
+            Phase.PRECOMPUTE, row, overflow[index], note=f"LUT-overflow[{index}]"
+        )
+    host.lut_residency.retain(b, modulus)
+    return False
+
+
+def _carry_save_step(
+    host: KernelHost,
+    phase: Phase,
+    lut_row: int,
+    iteration: int,
+    digit: Optional[int],
+    overflow_index: Optional[int],
+) -> Tuple[int, int, int]:
+    """One in-memory carry-save addition against a LUT row.
+
+    The logic-SA produces XOR3/MAJ of the low ``n`` bits; the near-memory
+    logic extends them with bit ``n`` of the redundant registers (the LUT
+    entry's bit ``n`` is always zero because every entry is below the
+    modulus).  Returns the full-width new sum, the new carry (already
+    shifted left by one) and the carry word's escaped top bit.
+    """
+    n = host.config.bitwidth
+    width = host.config.register_width
+    mm = host.memory_map
+
+    xor_low, maj_low = host.imc_access(
+        phase,
+        (lut_row, mm.sum_row, mm.carry_row),
+        iteration,
+        digit=digit,
+        overflow_index=overflow_index,
+    )
+    sum_msb = host.datapath.sum_msb
+    carry_msb = host.datapath.carry_msb
+    xor_top = sum_msb ^ carry_msb
+    maj_top = sum_msb & carry_msb
+
+    new_sum = xor_low | (xor_top << n)
+    maj_word = maj_low | (maj_top << n)
+    shifted_carry = maj_word << 1
+    escaped = shifted_carry >> width
+    new_carry = shifted_carry & ((1 << width) - 1)
+    host.datapath.latch_imc_result(new_sum, maj_word)
+    return new_sum, new_carry, escaped
+
+
+def _writeback(
+    host: KernelHost,
+    value: int,
+    row: int,
+    msb_setter: str,
+    shift: int,
+    iteration: int,
+    note: str,
+) -> int:
+    """Write a redundant register back to its row, optionally pre-shifted.
+
+    Returns the overflow bits that escaped the register because of the
+    shift (captured by the near-memory overflow flip-flops).
+    """
+    n = host.config.bitwidth
+    width = host.config.register_width
+    shifted = value << shift
+    overflow = shifted >> width
+    shifted &= (1 << width) - 1
+    phase = Phase.WRITEBACK_SUM if msb_setter == "sum" else Phase.WRITEBACK_CARRY
+    host.write_row(phase, row, shifted & ((1 << n) - 1), iteration, note)
+    if msb_setter == "sum":
+        host.datapath.set_accumulator_msbs((shifted >> n) & 1, host.datapath.carry_msb)
+    else:
+        host.datapath.set_accumulator_msbs(host.datapath.sum_msb, (shifted >> n) & 1)
+    return overflow
+
+
+def _run_iterations(host: KernelHost) -> Tuple[int, int, int, int]:
+    """Execute the main loop; returns (sum, carry, pending, extra_folds)."""
+    mm = host.memory_map
+    iterations = host.config.iterations
+    host.transition(ControllerState.ITERATE)
+
+    extra_folds = 0
+    final_sum = 0
+    final_carry = 0
+    pending_weight_bits = 0
+
+    for iteration in range(iterations):
+        host.begin_iteration(iteration)
+        last = iteration == iterations - 1
+        digit = host.datapath.booth_digit(iteration, iterations)
+
+        # ---- first section: add the Booth-digit entry ---------------- #
+        new_sum, new_carry, escaped = _carry_save_step(
+            host,
+            Phase.IMC_RADIX4,
+            mm.radix4_row(digit),
+            iteration,
+            digit=digit,
+            overflow_index=None,
+        )
+        _writeback(host, new_sum, mm.sum_row, "sum", 0, iteration, "sum")
+        _writeback(host, new_carry, mm.carry_row, "carry", 0, iteration, "carry<<1")
+
+        # ---- second section: fold the overflow back in ---------------- #
+        overflow_index = host.datapath.overflow_index(escaped)
+        remaining = overflow_index
+        pending_bits = 0
+        while True:
+            fold = min(remaining, len(mm.overflow_rows) - 1)
+            new_sum, new_carry, escaped = _carry_save_step(
+                host,
+                Phase.IMC_OVERFLOW,
+                mm.overflow_row(fold),
+                iteration,
+                digit=None,
+                overflow_index=fold,
+            )
+            pending_bits += escaped
+            remaining -= fold
+            if remaining == 0:
+                break
+            # Pathological overflow (never observed for real operands,
+            # see DESIGN.md): write the partial result back and fold again.
+            extra_folds += 1
+            _writeback(
+                host, new_sum, mm.sum_row, "sum", 0, iteration, "sum (extra fold)"
+            )
+            _writeback(
+                host, new_carry, mm.carry_row, "carry", 0, iteration,
+                "carry (extra fold)",
+            )
+
+        # ---- write back, pre-shifted for the next iteration ----------- #
+        if last:
+            # No shift after the final iteration; the carry write-back is
+            # elided (the finaliser consumes it straight from the FF).
+            _writeback(host, new_sum, mm.sum_row, "sum", 0, iteration, "sum (final)")
+            final_sum = new_sum
+            final_carry = new_carry
+            pending_weight_bits = pending_bits
+        else:
+            sum_overflow = _writeback(
+                host, new_sum, mm.sum_row, "sum", 2, iteration, "sum<<2"
+            )
+            carry_overflow = _writeback(
+                host, new_carry, mm.carry_row, "carry", 2, iteration, "carry<<2"
+            )
+            host.datapath.set_shift_overflow(sum_overflow + carry_overflow)
+            host.datapath.set_pending_carry_out(min(pending_bits, 1))
+            if pending_bits > 1:
+                # More than one escaped bit can only happen on an extra
+                # fold; keep correctness by folding the surplus into the
+                # shift-overflow field (weight 4 after the shift).
+                host.datapath.set_shift_overflow(
+                    sum_overflow + carry_overflow + 4 * (pending_bits - 1)
+                )
+
+    return final_sum, final_carry, pending_weight_bits, extra_folds
+
+
+def _finalize(
+    host: KernelHost, sum_word: int, carry_word: int, pending: int, modulus: int
+) -> Tuple[int, int]:
+    """Final full addition and reduction performed near-memory.
+
+    Returns ``(product, conditional_subtractions)``.
+    """
+    host.transition(ControllerState.FINALIZE)
+    mm = host.memory_map
+    n = host.config.bitwidth
+    width = host.config.register_width
+
+    # Read the sum row back (one cycle); the carry is still in the FF.
+    stored_sum_low = host.read_row(Phase.FINALIZE, mm.sum_row, note="sum -> adder")
+    stored_sum = stored_sum_low | (host.datapath.sum_msb << n)
+    if stored_sum != sum_word:
+        raise ControllerError(
+            "sum row/register mismatch at finalisation: the array holds "
+            f"{stored_sum:#x} but the datapath computed {sum_word:#x}"
+        )
+
+    total = stored_sum + carry_word + (pending << width)
+    host.nmc_cycle(Phase.FINALIZE, "full addition of sum and carry", kind="full_add")
+    subtractions = 0
+    while total >= modulus:
+        total -= modulus
+        subtractions += 1
+        host.nmc_cycle(Phase.FINALIZE, "conditional subtraction", kind="subtract")
+    host.transition(ControllerState.DONE)
+    return total, subtractions
+
+
+def run_kernel(host: KernelHost, a: int, b: int, modulus: int) -> KernelOutcome:
+    """Execute one modular multiplication on a host (any fidelity tier)."""
+    validate_operands(host.config, a, b, modulus)
+    _load_operands(host, a, b, modulus)
+    reused = _precompute_luts(host, b, modulus)
+    sum_word, carry_word, pending, extra_folds = _run_iterations(host)
+    product, subtractions = _finalize(host, sum_word, carry_word, pending, modulus)
+    return KernelOutcome(
+        product=product,
+        lut_reused=reused,
+        extra_overflow_folds=extra_folds,
+        finalize_subtractions=subtractions,
+    )

@@ -1,0 +1,71 @@
+"""Cycle accounting shared by every fidelity tier.
+
+:class:`CycleReport` is the per-multiplication cycle algebra the paper's
+evaluation reasons about; it is produced by the cycle-accurate tier (from
+the controller's measured budget) and by the analytical tier (from closed
+form), so both sides can be compared field by field.
+:class:`MultiplicationResult` bundles the product with the report and the
+(possibly empty) execution trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.modsram.trace import ExecutionTrace
+
+__all__ = ["CycleReport", "MultiplicationResult"]
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """Cycle accounting for one modular multiplication."""
+
+    iterations: int
+    load_cycles: int
+    precompute_cycles: int
+    iteration_cycles: int
+    finalize_cycles: int
+    extra_overflow_folds: int
+    lut_reused: bool
+    frequency_mhz: float
+
+    @property
+    def total_cycles(self) -> int:
+        """Every cycle spent, including loading and LUT precomputation."""
+        return (
+            self.load_cycles
+            + self.precompute_cycles
+            + self.iteration_cycles
+            + self.finalize_cycles
+        )
+
+    @property
+    def latency_us(self) -> float:
+        """Wall-clock latency of the main loop at the modelled frequency."""
+        return self.iteration_cycles / self.frequency_mhz
+
+    def as_dict(self) -> Dict[str, float]:
+        """Report as a dictionary for the analysis layer."""
+        return {
+            "iterations": self.iterations,
+            "load_cycles": self.load_cycles,
+            "precompute_cycles": self.precompute_cycles,
+            "iteration_cycles": self.iteration_cycles,
+            "finalize_cycles": self.finalize_cycles,
+            "extra_overflow_folds": self.extra_overflow_folds,
+            "total_cycles": self.total_cycles,
+            "lut_reused": int(self.lut_reused),
+            "frequency_mhz": self.frequency_mhz,
+            "latency_us": self.latency_us,
+        }
+
+
+@dataclass(frozen=True)
+class MultiplicationResult:
+    """Product plus the execution metadata of one run."""
+
+    product: int
+    report: CycleReport
+    trace: ExecutionTrace

@@ -69,11 +69,20 @@ class CycleEvent:
 
 
 class ExecutionTrace:
-    """Ordered collection of cycle events for one multiplication."""
+    """Ordered collection of cycle events for one multiplication.
+
+    An enabled trace is a valid :class:`~repro.modsram.tracesink.TraceSink`
+    — pass one as ``trace_sink=`` to the accelerator to collect events.
+    """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._events: List[CycleEvent] = []
+
+    @property
+    def active(self) -> bool:
+        """TraceSink protocol: events are only constructed when enabled."""
+        return self.enabled
 
     # ------------------------------------------------------------------ #
     # recording

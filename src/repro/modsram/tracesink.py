@@ -1,0 +1,53 @@
+"""Pluggable trace collection for the cycle-accurate tier.
+
+Historically the accelerator materialised a :class:`CycleEvent` for every
+clock cycle even when nobody asked for a trace.  Trace collection is now a
+*sink* the caller plugs in: the kernel host checks ``sink.active`` before
+constructing an event, so the default run (a :class:`NullTraceSink`)
+allocates no per-cycle objects at all, while an opt-in
+:class:`~repro.modsram.trace.ExecutionTrace` sink reproduces the legacy
+trace byte-for-byte (see ``tests/modsram/test_tracesink.py``).
+
+Any object with an ``active`` attribute and a ``record(event)`` method is a
+valid sink; :class:`ExecutionTrace` satisfies the protocol directly.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.modsram.trace import CycleEvent
+
+__all__ = ["TraceSink", "NullTraceSink", "NULL_SINK"]
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """What the cycle-accurate host needs from a trace collector.
+
+    ``active`` gates event *construction*: when it is ``False`` the host
+    never builds the :class:`CycleEvent`, so an inactive sink costs nothing
+    on the hot path.  ``record`` receives every event in cycle order.
+    """
+
+    @property
+    def active(self) -> bool:
+        """Whether the host should construct and deliver events."""
+        ...
+
+    def record(self, event: CycleEvent) -> None:
+        """Consume one cycle event."""
+        ...
+
+
+class NullTraceSink:
+    """The default sink: collects nothing, allocates nothing."""
+
+    active = False
+
+    def record(self, event: CycleEvent) -> None:  # pragma: no cover - gated off
+        """Never called while ``active`` is honoured; a no-op regardless."""
+
+
+#: Shared do-nothing sink used when tracing is off (it carries no state).
+NULL_SINK = NullTraceSink()

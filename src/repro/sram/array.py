@@ -74,6 +74,7 @@ class SramArray:
         cell: SramCell = EightTransistorCell,
         name: str = "sram",
         strict_disturb: bool = True,
+        stats: Optional[ArrayStats] = None,
     ) -> None:
         if rows <= 0 or cols <= 0:
             raise SramAccessError(
@@ -86,7 +87,9 @@ class SramArray:
         #: When True, a disturb-prone access raises; when False it is only
         #: recorded (useful for "what would a 6T design have to do" studies).
         self.strict_disturb = strict_disturb
-        self.stats = ArrayStats()
+        #: Access accounting; pass a shared :class:`ArrayStats` to aggregate
+        #: several arrays (e.g. every macro of a chip) into one profile.
+        self.stats = stats if stats is not None else ArrayStats()
         self._data: List[int] = [0] * rows
 
     # ------------------------------------------------------------------ #

@@ -4,6 +4,16 @@ The statistics mirror the quantities the paper's evaluation reasons about:
 how many word lines are activated (each activation is a precharge + sense
 cycle), how many of those are multi-row compute accesses versus plain reads,
 and how many write-backs occur.  The energy model consumes these directly.
+
+:class:`ArrayStats` is the *shared accounting currency* of the layered
+simulation core: the behavioural array fills one in while simulating, the
+functional tier fills one in from its register-file host, and the
+analytical tier synthesises one in closed form — so the energy model and
+the reports never need to know which fidelity tier produced the numbers.
+The algebra helpers (:meth:`merged_with`, :meth:`snapshot` /
+:meth:`delta_since`) support multi-macro aggregation (``Chip.stats()``) and
+per-multiplication attribution (``FunctionalResult.stats``) without
+coupling callers to the array.
 """
 
 from __future__ import annotations
@@ -51,3 +61,27 @@ class ArrayStats:
     def as_dict(self) -> Dict[str, int]:
         """Counters as a plain dictionary (stable key order)."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    # ------------------------------------------------------------------ #
+    # algebra (multi-macro aggregation, per-operation attribution)
+    # ------------------------------------------------------------------ #
+    def merged_with(self, other: "ArrayStats") -> "ArrayStats":
+        """A new stats object with element-wise summed counters."""
+        merged = ArrayStats()
+        for name in self.__dataclass_fields__:
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+    def snapshot(self) -> "ArrayStats":
+        """An independent copy of the current counters."""
+        copy = ArrayStats()
+        for name in self.__dataclass_fields__:
+            setattr(copy, name, getattr(self, name))
+        return copy
+
+    def delta_since(self, earlier: "ArrayStats") -> "ArrayStats":
+        """Counters accumulated since an earlier :meth:`snapshot`."""
+        delta = ArrayStats()
+        for name in self.__dataclass_fields__:
+            setattr(delta, name, getattr(self, name) - getattr(earlier, name))
+        return delta

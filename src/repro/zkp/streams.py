@@ -1,0 +1,92 @@
+"""ZKP workload streams (NTT / MSM) for chip-level dispatch.
+
+Generates the :class:`~repro.modsram.chip.MultiplicationJob` streams of the
+two dominant ZKP kernels of Figure 7 so the multi-macro chip model can
+schedule them.  The NTT stream is emitted twiddle-major — all butterflies
+sharing a twiddle factor are consecutive — which is the operand ordering a
+LUT-reuse-aware mapping would choose and the ordering under which the
+paper's data-reuse argument applies to NTT; the MSM stream expands the
+bucket method's point operations through the ECC sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.ecc.streams import point_operation_jobs
+from repro.errors import OperandRangeError
+from repro.modsram.chip import MultiplicationJob
+from repro.modsram.scheduler import DOUBLING_SEQUENCE, MIXED_ADDITION_SEQUENCE
+from repro.zkp.msm import default_window_bits
+
+__all__ = ["ntt_stream", "msm_stream"]
+
+
+def ntt_stream(size: int, tag: str = "ntt") -> Iterator[MultiplicationJob]:
+    """A ``size``-point iterative NTT as a multiplication stream.
+
+    ``log2(size)`` stages of ``size / 2`` butterflies each; stage ``s``
+    uses ``2**s`` distinct twiddle factors, and the butterflies of one
+    twiddle group are emitted consecutively (twiddle-major order), so a
+    macro holding that twiddle's radix-4 LUT serves the whole group without
+    a refill.
+    """
+    if size < 2 or size & (size - 1):
+        raise OperandRangeError(
+            f"NTT size must be a power of two >= 2, got {size}"
+        )
+    stages = size.bit_length() - 1
+    for stage in range(stages):
+        twiddles = 1 << stage
+        group = size // (2 * twiddles)  # butterflies sharing one twiddle
+        for twiddle in range(twiddles):
+            key = f"{tag}.w[{stage}][{twiddle}]"
+            for _ in range(group):
+                yield MultiplicationJob(multiplicand=key, tag=f"{tag}:s{stage}")
+
+
+def msm_stream(
+    points: int,
+    window_bits: int = 0,
+    scalar_bits: int = 256,
+    tag: str = "msm",
+) -> Iterator[MultiplicationJob]:
+    """A ``points``-element bucket-method MSM as a multiplication stream.
+
+    Mirrors :func:`repro.zkp.msm.msm_pippenger` structurally: for each of
+    the ``ceil(scalar_bits / c)`` windows, every point lands in a bucket
+    (one mixed addition each), the buckets are combined with a running-sum
+    reduction (two Jacobian additions per bucket), and the window results
+    are folded with ``c`` doublings per window.
+    """
+    if points <= 0:
+        raise OperandRangeError(f"points must be positive, got {points}")
+    if scalar_bits <= 0:
+        raise OperandRangeError(f"scalar_bits must be positive, got {scalar_bits}")
+    c = window_bits or default_window_bits(points)
+    if c < 1:
+        raise OperandRangeError(f"window size must be positive, got {c}")
+    windows = -(-scalar_bits // c)
+    buckets = (1 << c) - 1
+
+    for window in range(windows):
+        for point in range(points):
+            yield from point_operation_jobs(
+                MIXED_ADDITION_SEQUENCE, f"{tag}.w{window}.bucket[{point}]"
+            )
+        # Running-sum reduction: two Jacobian additions per bucket slot.
+        # A full Jacobian-Jacobian addition costs roughly the mixed
+        # sequence plus one more multiplication; the mixed sequence is the
+        # conservative stand-in used throughout the scheduler layer.
+        for slot in range(2 * buckets):
+            yield from point_operation_jobs(
+                MIXED_ADDITION_SEQUENCE, f"{tag}.w{window}.reduce[{slot}]"
+            )
+    for window in range(windows):
+        for doubling in range(c):
+            yield from point_operation_jobs(
+                DOUBLING_SEQUENCE, f"{tag}.horner[{window}][{doubling}]"
+            )
+        yield from point_operation_jobs(
+            MIXED_ADDITION_SEQUENCE, f"{tag}.horner-add[{window}]"
+        )

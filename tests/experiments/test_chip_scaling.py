@@ -1,0 +1,151 @@
+"""Tests for the chip-scaling experiment through the Runner and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.chip_scaling import reproduce_chip_scaling
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.experiments import Runner, get_experiment
+
+QUICK_PARAMS = {
+    "macro_counts": [1, 2],
+    "scalar_bits": 32,
+    "vector_size": 128,
+    "msm_points": 8,
+}
+
+
+class TestReproduceChipScaling:
+    def test_speedup_normalised_to_one_macro(self):
+        result = reproduce_chip_scaling(
+            workload="ntt", macro_counts=(1, 4), vector_size=256
+        )
+        assert result.points[0].macros == 1
+        assert result.points[0].speedup == pytest.approx(1.0)
+        assert result.points[1].speedup > 1.0
+        assert result.points[1].efficiency <= 1.0 + 1e-9
+
+    def test_baseline_is_computed_even_without_macro_count_one(self):
+        result = reproduce_chip_scaling(
+            workload="ntt", macro_counts=(4,), vector_size=256
+        )
+        (point,) = result.points
+        assert point.macros == 4
+        assert point.speedup > 1.0  # measured against an implicit 1-macro run
+
+    def test_every_workload_runs(self):
+        for workload in ("ecdsa-sign", "scalar-mult", "ntt", "msm"):
+            result = reproduce_chip_scaling(
+                workload=workload,
+                macro_counts=(1, 2),
+                scalar_bits=16,
+                vector_size=64,
+                msm_points=4,
+            )
+            assert result.workload == workload
+            assert all(point.jobs > 0 for point in result.points)
+            assert workload in result.render()
+
+    def test_unknown_workload_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workload"):
+            reproduce_chip_scaling(workload="sha256", macro_counts=(1,))
+
+    def test_empty_macro_counts_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="macro_counts"):
+            reproduce_chip_scaling(macro_counts=())
+
+
+class TestRunnerIntegration:
+    """Acceptance: chip-scaling runs through the Runner with caching."""
+
+    def test_registered_with_quick_overrides_and_sweep_axes(self):
+        definition = get_experiment("chip-scaling")
+        assert "workload" in definition.sweep_axes
+        assert definition.quick_overrides  # quick mode shrinks the workload
+
+    def test_runner_caches_the_experiment(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        cold = runner.run("chip-scaling", QUICK_PARAMS)
+        warm = runner.run("chip-scaling", QUICK_PARAMS)
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert warm.render() == cold.render()
+
+    def test_sweep_over_workloads(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        sweep = runner.sweep(
+            "chip-scaling",
+            {"workload": ["ntt", "scalar-mult"]},
+            QUICK_PARAMS,
+        )
+        assert len(sweep.results) == 2
+        rendered = [result.render() for result in sweep.results]
+        assert "ntt" in rendered[0] and "scalar-mult" in rendered[1]
+
+    def test_parallel_matches_serial(self, tmp_path):
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec(
+            "chip-scaling", QUICK_PARAMS, {"workload": ("ntt", "msm")}
+        )
+        serial = Runner(use_cache=False).run_spec(spec)
+        parallel = Runner(use_cache=False, parallel=True, max_workers=2).run_spec(spec)
+        assert [r.render() for r in parallel] == [r.render() for r in serial]
+
+
+class TestChipCli:
+    def run_cli(self, capsys, *argv):
+        code = cli_main(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_chip_subcommand_renders_a_table(self, capsys, tmp_path):
+        code, out = self.run_cli(
+            capsys,
+            "chip", "--workload", "ntt", "--macros", "1,2", "--size", "128",
+            "--cache-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "Chip scale-out on ntt" in out
+
+    def test_chip_subcommand_json(self, capsys, tmp_path):
+        code, out = self.run_cli(
+            capsys,
+            "chip", "--quick", "--json", "--cache-dir", str(tmp_path),
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["experiment"] == "chip-scaling"
+        assert payload["payload"]["workload"] == "ecdsa-sign"
+        assert len(payload["payload"]["points"]) == 3  # quick grid: 1, 2, 4
+
+    def test_quick_mode_applies_the_experiment_overrides(self, capsys, tmp_path):
+        """--quick must shrink the workload, not just the macro grid."""
+        code, out = self.run_cli(
+            capsys, "chip", "--quick", "--json", "--cache-dir", str(tmp_path)
+        )
+        assert code == 0
+        params = json.loads(out)["params"]
+        assert params["scalar_bits"] == 64  # the experiment's quick override
+        assert params["macro_counts"] == [1, 2, 4]
+
+    def test_explicit_flags_win_even_in_quick_mode(self, capsys, tmp_path):
+        code, out = self.run_cli(
+            capsys,
+            "chip", "--quick", "--json", "--macros", "1,8",
+            "--scalar-bits", "16", "--cache-dir", str(tmp_path),
+        )
+        assert code == 0
+        params = json.loads(out)["params"]
+        assert params["macro_counts"] == [1, 8]
+        assert params["scalar_bits"] == 16
+
+    def test_chip_subcommand_rejects_bad_macros(self, capsys):
+        code, out = self.run_cli(capsys, "chip", "--macros", "two")
+        assert code == 2
+        assert "comma-separated integers" in out
+        code, out = self.run_cli(capsys, "chip", "--macros", "0")
+        assert code == 2

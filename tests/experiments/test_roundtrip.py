@@ -34,6 +34,8 @@ ROUND_TRIP_CASES = (
     ("energy", {"bitwidths": [16, 32]}, False),
     ("design-point", {"bitwidth": 32}, False),
     ("design-point", {}, True),
+    ("chip-scaling", {}, True),
+    ("chip-scaling", {"workload": "ntt", "vector_size": 512, "macro_counts": [1, 4]}, False),
 )
 
 

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.analysis import (
+    reproduce_chip_scaling,
     reproduce_figure1,
     reproduce_figure5,
     reproduce_figure6,
@@ -200,6 +201,12 @@ class TestReportEquivalence:
                 reproduce_figure7().render(),
                 reproduce_table3(measure=False).render(),
                 reproduce_headline_claims(measure=False).render(),
+                reproduce_chip_scaling(
+                    macro_counts=(1, 2, 4),
+                    scalar_bits=64,
+                    vector_size=256,
+                    msm_points=16,
+                ).render(),
             ]
         )
 
@@ -236,7 +243,7 @@ class TestImportOrders:
         completed = subprocess.run(
             [sys.executable, "-c",
              "from repro.experiments import available_experiments; "
-             "assert len(available_experiments()) == 9"],
+             "assert len(available_experiments()) == 10"],
             capture_output=True,
             text=True,
             timeout=120,

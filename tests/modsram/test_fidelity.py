@@ -1,0 +1,230 @@
+"""Tests for the layered simulation core: fidelity-tier parity and algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, OperandRangeError
+from repro.modsram import (
+    AnalyticalCostModel,
+    AnalyticalModSRAM,
+    Fidelity,
+    FunctionalModSRAM,
+    ModSRAMAccelerator,
+    ModSRAMConfig,
+    PAPER_CONFIG,
+    build_simulator,
+)
+
+BN254_P = 0x30644E72E131A029B85045B68181585D97816A916871CA8D3C208C16D87CFD47
+SECP256K1_P = 2**256 - 2**32 - 977
+
+
+def tiers(config: ModSRAMConfig):
+    return (
+        ModSRAMAccelerator(config),
+        AnalyticalModSRAM(config),
+        FunctionalModSRAM(config),
+    )
+
+
+class TestProductParity:
+    """All three tiers return identical products (acceptance criterion)."""
+
+    @pytest.mark.parametrize(
+        "modulus,config",
+        [
+            (BN254_P, PAPER_CONFIG),  # 254-bit, paper n/2 schedule
+            (SECP256K1_P, ModSRAMConfig()),  # full 256-bit range
+        ],
+        ids=["bn254-paper", "secp256k1-full-range"],
+    )
+    def test_randomised_parity_at_paper_widths(self, modulus, config, rng):
+        cycle, analytical, functional = tiers(config)
+        for _ in range(2):
+            a, b = rng.randrange(modulus), rng.randrange(modulus)
+            expected = (a * b) % modulus
+            assert cycle.multiply(a, b, modulus).product == expected
+            assert analytical.multiply(a, b, modulus).product == expected
+            assert functional.multiply(a, b, modulus).product == expected
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_randomised_parity_16_bit(self, data):
+        modulus = data.draw(st.integers(1 << 14, (1 << 16) - 1).map(lambda v: v | 1))
+        a = data.draw(st.integers(0, modulus - 1))
+        b = data.draw(st.integers(0, modulus - 1))
+        config = ModSRAMConfig().with_bitwidth(16)
+        cycle, analytical, functional = tiers(config)
+        expected = (a * b) % modulus
+        assert cycle.multiply(a, b, modulus).product == expected
+        assert analytical.multiply(a, b, modulus).product == expected
+        assert functional.multiply(a, b, modulus).product == expected
+
+    def test_fast_tiers_enforce_the_same_preconditions(self):
+        config = ModSRAMConfig(extend_for_full_range=False).with_bitwidth(16)
+        for simulator in (AnalyticalModSRAM(config), FunctionalModSRAM(config)):
+            with pytest.raises(OperandRangeError):
+                simulator.multiply(65521, 1, 65521)  # unreduced operand
+            with pytest.raises(OperandRangeError):
+                simulator.multiply(0x8000, 1, 0xFFF1)  # paper-mode top bit
+            with pytest.raises(OperandRangeError):
+                simulator.multiply(1, 1, 97)  # modulus far below the macro
+
+
+class TestAnalyticalExactness:
+    """The analytical tier's reports match the cycle tier field by field."""
+
+    def test_paper_schedule_767_cycles(self, rng):
+        analytical = AnalyticalModSRAM(PAPER_CONFIG)
+        a, b = rng.randrange(BN254_P), rng.randrange(BN254_P)
+        report = analytical.multiply(a, b, BN254_P).report
+        assert report.iterations == 128
+        assert report.iteration_cycles == 767
+
+    @pytest.mark.parametrize("bitwidth", [16, 24, 48])
+    @pytest.mark.parametrize("full_range", [True, False])
+    def test_total_cycles_match_cycle_tier_exactly(self, bitwidth, full_range, rng):
+        config = ModSRAMConfig(
+            extend_for_full_range=full_range
+        ).with_bitwidth(bitwidth)
+        cycle = ModSRAMAccelerator(config)
+        analytical = AnalyticalModSRAM(config)
+        modulus = ((1 << bitwidth) - 5) | 1
+        for _ in range(3):
+            a = rng.randrange(modulus)
+            if not full_range:
+                a >>= 1  # paper schedule: keep the top bit clear
+            b = rng.randrange(modulus)
+            measured = cycle.multiply(a, b, modulus).report
+            modelled = analytical.multiply(a, b, modulus).report
+            assert modelled == measured  # every field, including totals
+            assert modelled.total_cycles == measured.total_cycles
+
+    def test_lut_reuse_flows_through_the_cost_model(self):
+        config = ModSRAMConfig().with_bitwidth(16)
+        analytical = AnalyticalModSRAM(config)
+        first = analytical.multiply(111, 222, 65521).report
+        second = analytical.multiply(333, 222, 65521).report
+        assert not first.lut_reused and first.precompute_cycles > 0
+        assert second.lut_reused and second.precompute_cycles == 0
+
+    def test_cost_model_against_measured_budget(self, rng):
+        config = ModSRAMConfig().with_bitwidth(32)
+        model = AnalyticalCostModel(config)
+        accelerator = ModSRAMAccelerator(config)
+        modulus = ((1 << 32) - 5) | 1
+        report = accelerator.multiply(
+            rng.randrange(modulus), rng.randrange(modulus), modulus
+        ).report
+        assert model.load_cycles() == report.load_cycles
+        assert model.lut_fill_cycles() == report.precompute_cycles
+        assert model.iteration_cycles() == report.iteration_cycles
+        assert model.total_cycles(
+            subtractions=report.finalize_cycles - 2
+        ) == report.total_cycles
+
+    def test_radix4_refill_matches_the_point_scheduler_constant(self):
+        from repro.modsram import PointOperationScheduler
+
+        model = AnalyticalCostModel(PAPER_CONFIG)
+        assert (
+            model.radix4_refill_cycles()
+            == PointOperationScheduler.RADIX4_PRECOMPUTE_CYCLES
+        )
+
+
+class TestAccessStatsParity:
+    """Closed-form and register-file access profiles match the real array."""
+
+    def test_functional_stats_match_the_simulated_array(self, rng):
+        config = ModSRAMConfig().with_bitwidth(16)
+        cycle = ModSRAMAccelerator(config)
+        functional = FunctionalModSRAM(config)
+        for pair in ((11, 13), (500, 13), (65520, 65519)):
+            cycle.multiply(*pair, 65521)
+            functional.multiply(*pair, 65521)
+        assert functional.stats.as_dict() == cycle.array.stats.as_dict()
+
+    def test_analytical_closed_form_matches_measured_stats(self, rng):
+        config = ModSRAMConfig().with_bitwidth(16)
+        cycle = ModSRAMAccelerator(config)
+        result = cycle.multiply(12345, 54321, 65521)
+        model = AnalyticalCostModel(config)
+        closed_form = model.array_stats(
+            reused=result.report.lut_reused,
+            extra_folds=result.report.extra_overflow_folds,
+        )
+        assert closed_form.as_dict() == cycle.array.stats.as_dict()
+
+    def test_analytical_energy_is_positive_and_tier_consistent(self):
+        config = ModSRAMConfig().with_bitwidth(16)
+        cycle = ModSRAMAccelerator(config)
+        analytical = AnalyticalModSRAM(config)
+        cycle.multiply(11, 13, 65521)
+        analytical.multiply(11, 13, 65521)
+        measured = cycle.energy_report()
+        modelled = analytical.energy_report()
+        assert modelled.total_pj > 0
+        # Same array profile => identical array-side energy components.
+        assert modelled.precharge_pj == pytest.approx(measured.precharge_pj)
+        assert modelled.wordline_pj == pytest.approx(measured.wordline_pj)
+        assert modelled.write_pj == pytest.approx(measured.write_pj)
+
+
+class TestFunctionalOperations:
+    def test_operation_counts_reflect_the_schedule(self):
+        config = ModSRAMConfig().with_bitwidth(16)
+        functional = FunctionalModSRAM(config)
+        result = functional.multiply(11, 13, 65521)
+        iterations = config.iterations
+        assert result.operations["imc_access"] == 2 * iterations
+        assert result.operations["modmul"] == 1
+        assert result.operations["memory_write"] > 0
+
+    def test_per_multiplication_stats_delta_feeds_the_energy_model(self):
+        config = ModSRAMConfig().with_bitwidth(16)
+        functional = FunctionalModSRAM(config)
+        first = functional.multiply(11, 13, 65521)
+        second = functional.multiply(12, 13, 65521)
+        # The per-multiplication profile stands alone (not cumulative) ...
+        assert first.stats.row_writes > second.stats.row_writes  # LUT reuse
+        assert (
+            first.stats.merged_with(second.stats).as_dict()
+            == functional.stats.as_dict()
+        )
+        # ... and prices one multiplication directly.
+        assert config.energy.from_stats(second.stats).total_pj > 0
+
+    def test_counts_are_per_multiplication_deltas(self):
+        config = ModSRAMConfig().with_bitwidth(16)
+        functional = FunctionalModSRAM(config)
+        first = functional.multiply(11, 13, 65521)
+        second = functional.multiply(12, 13, 65521)
+        assert second.lut_reused
+        assert second.operations["imc_access"] == first.operations["imc_access"]
+        assert "memory_write" in first.operations
+        # Reuse skips the 13 LUT row writes.
+        assert (
+            first.operations["memory_write"]
+            - second.operations["memory_write"]
+            == 13
+        )
+
+
+class TestFidelitySelection:
+    def test_build_simulator_types(self):
+        assert isinstance(build_simulator("cycle"), ModSRAMAccelerator)
+        assert isinstance(build_simulator("analytical"), AnalyticalModSRAM)
+        assert isinstance(build_simulator("functional"), FunctionalModSRAM)
+        assert isinstance(
+            build_simulator(Fidelity.FUNCTIONAL), FunctionalModSRAM
+        )
+
+    def test_unknown_fidelity_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fidelity"):
+            build_simulator("rtl")
+
+    def test_coerce_accepts_mixed_case_strings(self):
+        assert Fidelity.coerce("CYCLE") is Fidelity.CYCLE

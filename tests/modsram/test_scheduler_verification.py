@@ -70,6 +70,62 @@ class TestPointOperationScheduler:
             scheduler.schedule([("p", "a", "b"), ("q", "c", "d")],
                                preloaded=("a", "b", "modulus"))
 
+    def test_doubling_preloads_the_curve_constant(self, scheduler):
+        """The doubling schedule seeds x1/y1/z1, the modulus and 'three'."""
+        schedule = scheduler.schedule_doubling()
+        rows = {}
+        for entry in schedule.multiplications:
+            rows[entry.multiplier] = entry.multiplier_row
+            rows[entry.multiplicand] = entry.multiplicand_row
+            rows[entry.product] = entry.product_row
+        assert "three" in rows  # the a=0 doubling needs 3*XX
+        # Preloaded values occupy the first operand slots, in order.
+        preloaded_rows = [rows[name] for name in ("x1", "y1", "z1")]
+        assert preloaded_rows == sorted(preloaded_rows)
+
+    def test_doubling_lut_reuse_profile(self, scheduler):
+        """No two consecutive doubling multiplications share a multiplicand,
+        so every one of the eight pays the radix-4 refill."""
+        schedule = scheduler.schedule_doubling()
+        assert [entry.lut_reused for entry in schedule.multiplications] == (
+            [False] * len(DOUBLING_SEQUENCE)
+        )
+        assert schedule.lut_reuse_rate == 0.0
+        assert schedule.precompute_cycles == (
+            len(DOUBLING_SEQUENCE)
+            * PointOperationScheduler.RADIX4_PRECOMPUTE_CYCLES
+        )
+
+    def test_doubling_operands_fit_the_array(self, scheduler):
+        schedule = scheduler.schedule_doubling()
+        assert schedule.operand_rows_used <= PAPER_CONFIG.operand_capacity
+        assert schedule.operand_rows_used < (
+            scheduler.schedule_mixed_addition().operand_rows_used
+        )
+
+    def test_doubling_every_value_gets_a_unique_row(self, scheduler):
+        schedule = scheduler.schedule_doubling()
+        row_of_name = {}
+        for entry in schedule.multiplications:
+            for name, row in (
+                (entry.multiplier, entry.multiplier_row),
+                (entry.multiplicand, entry.multiplicand_row),
+                (entry.product, entry.product_row),
+            ):
+                row_of_name.setdefault(name, row)
+                assert row_of_name[name] == row
+        assert len(set(row_of_name.values())) == len(row_of_name)
+
+    def test_doubling_total_cycles_compose(self, scheduler):
+        schedule = scheduler.schedule_doubling()
+        assert schedule.total_cycles == (
+            schedule.iteration_cycles + schedule.precompute_cycles
+        )
+        assert schedule.as_dict()["operation"] == "doubling"
+        assert schedule.latency_us(420.0) == pytest.approx(
+            schedule.total_cycles / 420.0
+        )
+
     def test_scalar_multiplication_projection(self, scheduler):
         cycles = scheduler.scalar_multiplication_cycles(255)
         doubling = scheduler.schedule_doubling().total_cycles

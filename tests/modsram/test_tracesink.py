@@ -1,0 +1,106 @@
+"""Tests for pluggable trace sinks on the cycle-accurate tier."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.modsram.accelerator as accelerator_module
+from repro.modsram import (
+    CycleEvent,
+    ExecutionTrace,
+    ModSRAMAccelerator,
+    ModSRAMConfig,
+    NULL_SINK,
+    NullTraceSink,
+    TraceSink,
+)
+
+
+def small_config(bitwidth: int = 8) -> ModSRAMConfig:
+    return ModSRAMConfig(extend_for_full_range=False).with_bitwidth(bitwidth)
+
+
+class CountingEventFactory:
+    """Stand-in for CycleEvent that counts constructions."""
+
+    def __init__(self):
+        self.constructed = 0
+
+    def __call__(self, *args, **kwargs):
+        self.constructed += 1
+        return CycleEvent(*args, **kwargs)
+
+
+class TestDefaultRunAllocatesNothing:
+    def test_no_cycle_events_constructed_without_a_sink(self, monkeypatch):
+        """Satellite acceptance: the default run materialises zero events."""
+        factory = CountingEventFactory()
+        monkeypatch.setattr(accelerator_module, "CycleEvent", factory)
+        accelerator = ModSRAMAccelerator(small_config())
+        result = accelerator.multiply(0x2A, 0x51, 0xF1)
+        assert result.product == (0x2A * 0x51) % 0xF1
+        assert factory.constructed == 0
+        assert len(result.trace) == 0
+
+    def test_every_cycle_constructed_with_a_sink(self, monkeypatch):
+        factory = CountingEventFactory()
+        monkeypatch.setattr(accelerator_module, "CycleEvent", factory)
+        accelerator = ModSRAMAccelerator(small_config(), trace=True)
+        result = accelerator.multiply(0x2A, 0x51, 0xF1)
+        assert factory.constructed == result.report.total_cycles
+        assert len(result.trace) == result.report.total_cycles
+
+
+class TestSinkReproducesLegacyTrace:
+    def test_external_sink_matches_legacy_trace_byte_for_byte(self):
+        """Satellite acceptance: opt-in sink == legacy ``trace=True`` text."""
+        legacy = ModSRAMAccelerator(small_config(), trace=True)
+        legacy_text = legacy.multiply(0x2A, 0x51, 0xF1).trace.render()
+
+        sink = ExecutionTrace()
+        accelerator = ModSRAMAccelerator(small_config(), trace_sink=sink)
+        accelerator.multiply(0x2A, 0x51, 0xF1)
+        assert sink.render() == legacy_text
+        assert len(legacy_text) > 0
+
+    def test_external_sink_accumulates_across_multiplications(self):
+        sink = ExecutionTrace()
+        accelerator = ModSRAMAccelerator(small_config(), trace_sink=sink)
+        first = accelerator.multiply(0x2A, 0x51, 0xF1)
+        events_after_first = len(sink)
+        accelerator.multiply(0x2B, 0x51, 0xF1)
+        assert events_after_first == first.report.total_cycles
+        assert len(sink) > events_after_first  # caller owns the lifecycle
+
+    def test_legacy_trace_resets_per_multiplication(self):
+        accelerator = ModSRAMAccelerator(small_config(), trace=True)
+        accelerator.multiply(0x2A, 0x51, 0xF1)
+        second = accelerator.multiply(0x2B, 0x51, 0xF1)
+        assert len(second.trace) == second.report.total_cycles
+
+
+class TestSinkProtocol:
+    def test_null_sink_is_inactive(self):
+        assert NullTraceSink().active is False
+        assert NULL_SINK.active is False
+
+    def test_execution_trace_satisfies_the_protocol(self):
+        assert isinstance(ExecutionTrace(), TraceSink)
+        assert isinstance(NullTraceSink(), TraceSink)
+        assert ExecutionTrace(enabled=False).active is False
+        assert ExecutionTrace(enabled=True).active is True
+
+    def test_custom_sink_receives_events_in_cycle_order(self):
+        class Collector:
+            active = True
+
+            def __init__(self):
+                self.cycles = []
+
+            def record(self, event):
+                self.cycles.append(event.cycle)
+
+        collector = Collector()
+        accelerator = ModSRAMAccelerator(small_config(), trace_sink=collector)
+        result = accelerator.multiply(0x2A, 0x51, 0xF1)
+        assert collector.cycles == list(range(result.report.total_cycles))

@@ -1,0 +1,43 @@
+"""Tests for the ArrayStats algebra and shared-stats array injection."""
+
+from __future__ import annotations
+
+from repro.sram.array import SramArray
+from repro.sram.stats import ArrayStats
+
+
+class TestArrayStatsAlgebra:
+    def test_merged_with_sums_every_counter(self):
+        first = ArrayStats(row_writes=2, bits_written=512, precharges=1)
+        second = ArrayStats(row_writes=3, row_reads=4, precharges=2)
+        merged = first.merged_with(second)
+        assert merged.row_writes == 5
+        assert merged.row_reads == 4
+        assert merged.bits_written == 512
+        assert merged.precharges == 3
+        # Inputs are untouched.
+        assert first.row_writes == 2 and second.row_writes == 3
+
+    def test_snapshot_and_delta_since(self):
+        stats = ArrayStats()
+        stats.record_write(256)
+        before = stats.snapshot()
+        stats.record_write(256)
+        stats.record_read(3, compute=True)
+        delta = stats.delta_since(before)
+        assert delta.row_writes == 1
+        assert delta.bits_written == 256
+        assert delta.compute_reads == 1
+        # The snapshot is independent of later mutation.
+        assert before.row_writes == 1
+
+    def test_shared_stats_aggregate_across_arrays(self):
+        shared = ArrayStats()
+        left = SramArray(rows=4, cols=8, stats=shared)
+        right = SramArray(rows=4, cols=8, stats=shared)
+        left.write_row(0, 0xAB)
+        right.write_row(1, 0xCD)
+        right.read_row(1)
+        assert shared.row_writes == 2
+        assert shared.row_reads == 1
+        assert left.stats is right.stats is shared
