@@ -10,14 +10,16 @@ from setuptools import find_packages, setup
 
 setup(
     name="modsram-repro",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "Reproduction of 'ModSRAM: Algorithm-Hardware Co-Design for Large "
         "Number Modular Multiplication in SRAM' (DAC 2024): R4CSA-LUT in a "
         "layered simulation core (functional/analytical/cycle fidelity "
         "tiers plus an N-macro chip model), PIM baselines, ECC/ZKP "
-        "substrates behind a unified Engine API, and a declarative, "
-        "parallel, disk-cached Experiment API for every table and figure."
+        "substrates behind a unified Engine API, a dependency-aware "
+        "Workload Graph API with an asyncio serving layer, and a "
+        "declarative, parallel, disk-cached Experiment API for every "
+        "table and figure."
     ),
     long_description=open("src/repro/__init__.py").read().split('"""')[1],
     long_description_content_type="text/x-rst",

@@ -70,6 +70,33 @@ result, ``repro experiment sweep design-point --axis bitwidth=64,128,256
 full consolidated report with warm-cache reuse (``python -m repro`` is
 equivalent to the ``repro`` console script).
 
+Workload graphs and the serving layer
+-------------------------------------
+Requests are DAGs, not flat streams: :mod:`repro.workloads` builds a
+dependency-aware :class:`~repro.workloads.WorkloadGraph` of modular
+multiplications for every workload the paper motivates (point operations,
+scalar multiplication, ECDSA signing, NTT stages, bucket MSM, product
+trees), and the graph-aware chip scheduler
+(:meth:`~repro.modsram.ChipScheduler.schedule_graph`) dispatches its ready
+fronts across macros honoring dependencies and LUT residency — ~4x lower
+makespan than the flat-stream path on a 2^10-point NTT at 4 macros, with
+bit-identical products.  :mod:`repro.service` serves those graphs online::
+
+    import asyncio
+    from repro.service import Client, Server
+    from repro.workloads import product_tree_graph
+
+    async def main():
+        async with Server(backend="r4csa-lut", curve="bn254") as server:
+            client = Client(server, tenant="alice")
+            response = await client.submit_graph(product_tree_graph(range(2, 18)))
+
+    asyncio.run(main())
+
+``repro serve --self-test`` drives the multi-tenant traffic mix,
+``repro submit`` sends one request from the shell, and the
+``serving-throughput`` experiment measures the layer.
+
 The cycle-accurate hardware model lives in :mod:`repro.modsram`; the
 per-exhibit reproduction modules live in :mod:`repro.analysis`.
 """
@@ -98,7 +125,7 @@ from repro.engine import (
 )
 from repro.errors import ReproError
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BackendInfo",

@@ -11,6 +11,8 @@ ModSRAM model and the Table 3 PIM baselines — is reachable from the shell::
     python -m repro.cli multiply A B [--modulus P] [--backend NAME] [--curve NAME] [--json]
     python -m repro.cli batch    [--count N] [--backend NAME] [--seed S] [--json]
     python -m repro.cli chip     [--workload W] [--macros 1,2,4] [--json]
+    python -m repro.cli serve    --self-test [--quick] [--json]   # async layer
+    python -m repro.cli submit   [--workload batch|product-tree] [--json]
     python -m repro.cli backends [--json]           # backend capability matrix
     python -m repro.cli cycles   [--bitwidth N]     # cycle model + comparison
     python -m repro.cli area     [--rows R] [--bitwidth N] [--technology NM]
@@ -279,6 +281,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_options(chip)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="the async serving layer (self-test traffic against an "
+             "in-process server)",
+    )
+    serve.add_argument(
+        "--self-test",
+        dest="self_test",
+        action="store_true",
+        help="drive the built-in multi-tenant traffic mix and report metrics",
+    )
+    serve.add_argument(
+        "--backend",
+        default="r4csa-lut",
+        help="engine backend serving the traffic",
+    )
+    serve.add_argument(
+        "--curve",
+        choices=sorted(CURVE_SPECS),
+        default="bn254",
+        help="curve whose base-field prime the traffic multiplies under",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=None,
+        help="concurrent client tenants (default 4; 2 under --quick)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=None,
+        help="requests per tenant (default 32; 8 under --quick)",
+    )
+    serve.add_argument(
+        "--quick", action="store_true", help="shrink the traffic for CI smoke"
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="emit the metrics summary as JSON"
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit one request to an in-process server and await the result",
+    )
+    submit.add_argument(
+        "--workload",
+        choices=("batch", "product-tree"),
+        default="product-tree",
+        help="request shape: a flat operand batch or a workload graph",
+    )
+    submit.add_argument(
+        "--count", type=int, default=16,
+        help="operand pairs (batch) or leaves (product-tree)",
+    )
+    submit.add_argument(
+        "--backend",
+        default="r4csa-lut",
+        help="engine backend (see 'repro backends' for the list)",
+    )
+    submit.add_argument(
+        "--curve",
+        choices=sorted(CURVE_SPECS),
+        default="bn254",
+        help="use this curve's base-field prime when --modulus is not given",
+    )
+    submit.add_argument("--modulus", type=_parse_int, default=None, help="modulus p")
+    submit.add_argument(
+        "--seed", type=int, default=2024, help="seed for the random operands"
+    )
+    submit.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline in milliseconds",
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="emit the response as JSON"
+    )
+
     backends = subparsers.add_parser(
         "backends", help="capability matrix of every registered engine backend"
     )
@@ -496,10 +572,134 @@ def _command_chip(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    if not arguments.self_test:
+        print(
+            "only --self-test mode is available: the server is in-process "
+            "(see 'repro submit' and repro.service for the API)"
+        )
+        return 2
+    from repro.service import run_self_test
+
+    # Explicit sizing always wins, even over --quick's shrunk traffic.
+    traffic = {}
+    if arguments.tenants is not None:
+        traffic["tenants"] = arguments.tenants
+    if arguments.requests is not None:
+        traffic["requests"] = arguments.requests
+    summary = run_self_test(
+        quick=arguments.quick,
+        backend=arguments.backend,
+        curve=arguments.curve,
+        **traffic,
+    )
+    if arguments.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    latency = summary["latency"]
+    print(f"backend           : {summary['backend']}")
+    print(f"tenants           : {summary['tenants']} "
+          f"x {summary['requests_per_tenant']} requests")
+    print(f"verified requests : {summary['verified_requests']}"
+          f" (all products checked against the big-int reference)")
+    print(f"throughput        : {summary['requests_per_second']:.1f} req/s, "
+          f"{summary['multiplications_per_second']:.1f} mul/s")
+    print(f"batching          : {summary['batches']} engine batches, "
+          f"mean {summary['mean_batch_size']:.1f} pairs")
+    print(f"latency           : p50 {latency['p50_ms']:.3f} ms, "
+          f"p95 {latency['p95_ms']:.3f} ms, p99 {latency['p99_ms']:.3f} ms")
+    cache = summary["context_cache"]
+    print(f"context cache     : {cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.3f})")
+    return 0
+
+
+def _command_submit(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    minimum = 2 if arguments.workload == "product-tree" else 1
+    if arguments.count < minimum:
+        print(f"--count must be at least {minimum} for {arguments.workload}, "
+              f"got {arguments.count}")
+        return 2
+    if arguments.backend not in available_backends():
+        print(f"unknown backend {arguments.backend!r}; available: "
+              f"{', '.join(available_backends())}")
+        return 2
+    from repro.service import Client, Server
+    from repro.workloads import product_tree_graph
+
+    async def run():
+        async with Server(
+            backend=arguments.backend,
+            curve=arguments.curve,
+            modulus=arguments.modulus,
+        ) as server:
+            modulus = server.engine.default_modulus
+            assert modulus is not None
+            rng = random.Random(arguments.seed)
+            client = Client(server, tenant="cli")
+            if arguments.workload == "product-tree":
+                leaves = [
+                    rng.randrange(1, modulus) for _ in range(arguments.count)
+                ]
+                graph = product_tree_graph(leaves)
+                response = await client.submit_graph(
+                    graph, deadline_ms=arguments.deadline_ms
+                )
+                shape = graph.as_dict()
+            else:
+                pairs = [
+                    (rng.randrange(modulus), rng.randrange(modulus))
+                    for _ in range(arguments.count)
+                ]
+                response = await client.multiply_batch(
+                    pairs, deadline_ms=arguments.deadline_ms
+                )
+                shape = {"pairs": len(pairs)}
+            return response, shape, server.metrics_summary()
+
+    response, shape, summary = asyncio.run(run())
+    if arguments.json:
+        payload = {
+            "workload": arguments.workload,
+            "shape": shape,
+            "kind": response.kind,
+            "backend": response.backend,
+            "modulus": response.modulus,
+            "values": list(response.values),
+            "batched_pairs": response.batched_pairs,
+            "modeled_cycles": response.modeled_cycles,
+            "latency_ms": response.latency_ms,
+            "server": summary,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"workload : {arguments.workload} ({shape})")
+    print(f"backend  : {response.backend}")
+    print(f"modulus  : {response.modulus:#x}")
+    if len(response.values) == 1:
+        print(f"result   : {response.values[0]:#x}")
+    else:
+        print(f"results  : {len(response.values)} products, "
+              f"first {response.values[0]:#x}")
+    if response.modeled_cycles is not None:
+        print(f"modeled  : {response.modeled_cycles} hardware cycles")
+    print(f"latency  : {response.latency_ms:.3f} ms "
+          f"(queued {response.queue_ms:.3f} ms)")
+    return 0
+
+
 def _command_backends(arguments: argparse.Namespace) -> int:
     infos = [get_backend(name).info for name in available_backends()]
     if arguments.json:
-        print(json.dumps([info.as_dict() for info in infos], indent=2))
+        from repro.engine import global_cache_stats
+
+        payload = {
+            "backends": [info.as_dict() for info in infos],
+            "context_cache": global_cache_stats().as_dict(),
+        }
+        print(json.dumps(payload, indent=2))
         return 0
     rows = []
     for info in infos:
@@ -583,6 +783,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "multiply": _command_multiply,
         "batch": _command_batch,
         "chip": _command_chip,
+        "serve": _command_serve,
+        "submit": _command_submit,
         "backends": _command_backends,
         "cycles": _command_cycles,
         "area": _command_area,

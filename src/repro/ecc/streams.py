@@ -1,17 +1,20 @@
 """ECC workload streams for chip-level dispatch.
 
-The multi-macro chip model (:mod:`repro.modsram.chip`) consumes workloads
-as streams of :class:`~repro.modsram.chip.MultiplicationJob`; this module
-generates those streams for the elliptic-curve workloads the paper
-motivates ModSRAM with.  Each point operation expands into the
-multiplication sequence of :mod:`repro.modsram.scheduler` with its
-multiplicand names scoped to the operation instance, so the chip scheduler
-sees exactly the LUT-reuse structure one macro would: reuse within an
-operation, refills between operations.
+These generators are the *linear views* of the Workload Graph API: the
+graph builders in :mod:`repro.workloads.builders` are the canonical,
+dependency-aware form of the same workloads, and
+``graph.to_jobs()`` linearises a builder's graph into exactly the job
+sequence emitted here (pinned by ``tests/workloads/test_builders.py``).
+The streams stay hand-rolled generators so that huge workloads — a
+``2^16``-point NTT, thousands of signatures — can be scheduled in O(1)
+memory without materialising the graph's nodes and edges first.
 
-The streams are *structural* (no big-integer operands): they model which
-multiplications a workload performs and which radix-4 LUTs those
-multiplications can share, which is all the chip-level scheduling needs.
+Each point operation expands into the multiplication sequence of
+:mod:`repro.modsram.scheduler` with its multiplicand names scoped to the
+operation instance, so the chip scheduler sees exactly the LUT-reuse
+structure one macro would: reuse within an operation, refills between
+operations.  The streams are *structural* (no big-integer operands); use
+the graph builders to exploit intra-request parallelism.
 """
 
 from __future__ import annotations
@@ -49,9 +52,8 @@ def scalar_multiplication_stream(
 
     ``scalar_bits`` doublings interleaved with ``additions`` mixed
     additions (default: half the bit length, the expected Hamming weight of
-    a random scalar) — the same projection as
-    :meth:`~repro.modsram.scheduler.PointOperationScheduler.scalar_multiplication_cycles`,
-    but as a dispatchable stream.
+    a random scalar) — the linearisation of
+    :func:`repro.workloads.builders.scalar_multiplication_graph`.
     """
     if scalar_bits <= 0:
         raise OperandRangeError(f"scalar_bits must be positive, got {scalar_bits}")
@@ -78,7 +80,8 @@ def ecdsa_sign_stream(
     Each signature is one ``k · G`` scalar multiplication, a Fermat
     inversion of the nonce in the scalar field (``scalar_bits`` squarings —
     each with a fresh multiplicand — plus half as many multiplies), and the
-    two scalar-field products forming ``s``.
+    two scalar-field products forming ``s`` — the linearisation of
+    :func:`repro.workloads.builders.ecdsa_sign_graph`.
     """
     if signatures <= 0:
         raise OperandRangeError(f"signatures must be positive, got {signatures}")

@@ -31,8 +31,13 @@ from repro.engine.backend import (
     get_backend,
     register_backend,
 )
-from repro.engine.cache import CacheStats, ContextCache
-from repro.engine.engine import BatchResult, Engine, MultiplyResult
+from repro.engine.cache import (
+    CacheStats,
+    ContextCache,
+    global_cache_stats,
+    reset_global_cache_stats,
+)
+from repro.engine.engine import BatchResult, Engine, EngineStats, MultiplyResult
 
 __all__ = [
     "Backend",
@@ -42,6 +47,7 @@ __all__ = [
     "ContextCache",
     "Engine",
     "EngineContext",
+    "EngineStats",
     "ModSRAMBackend",
     "ModSRAMChipBackend",
     "ModSRAMFastBackend",
@@ -50,5 +56,7 @@ __all__ = [
     "PimBaselineBackend",
     "available_backends",
     "get_backend",
+    "global_cache_stats",
     "register_backend",
+    "reset_global_cache_stats",
 ]

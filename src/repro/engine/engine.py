@@ -33,7 +33,7 @@ from repro.engine.backend import (
 from repro.engine.cache import CacheStats, ContextCache
 from repro.errors import ConfigurationError, ModulusError, OperandRangeError
 
-__all__ = ["Engine", "MultiplyResult", "BatchResult"]
+__all__ = ["Engine", "EngineStats", "MultiplyResult", "BatchResult"]
 
 
 def _resolve_curve_spec(name: str):
@@ -171,6 +171,32 @@ class BatchResult:
         )
 
 
+@dataclass(frozen=True)
+class EngineStats:
+    """One engine's operation counters plus its context-cache counters.
+
+    Behaves like the :class:`MultiplierStats` it wraps (every counter
+    attribute delegates), with the cache hit/miss/eviction accounting the
+    serving layer watches exposed alongside as :attr:`cache`.
+    """
+
+    operations: MultiplierStats
+    cache: CacheStats
+
+    def __getattr__(self, name: str):
+        # Only reached for attributes not on EngineStats itself: delegate
+        # the MultiplierStats counters (multiplications, iterations, ...).
+        # Dunder/field names must fail plainly (pickling probes them before
+        # the fields exist, which would otherwise recurse).
+        if name.startswith("_") or name in ("operations", "cache"):
+            raise AttributeError(name)
+        return getattr(self.operations, name)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Counters as a plain dictionary, cache counters under ``cache``."""
+        return {**self.operations.as_dict(), "cache": self.cache.as_dict()}
+
+
 class Engine:
     """One batched, context-cached entry point for every arithmetic backend.
 
@@ -232,16 +258,18 @@ class Engine:
         """Number of contexts currently resident."""
         return len(self._cache)
 
-    def stats(self) -> MultiplierStats:
+    def stats(self) -> EngineStats:
         """Aggregate operation counters across every context (live + evicted).
 
         Always a fresh snapshot — mutating it never touches the engine's
-        own accounting.
+        own accounting.  The returned :class:`EngineStats` also carries the
+        context cache's hit/miss/eviction counters (``stats().cache``), so
+        serving-layer cache behaviour is observable from one call.
         """
         merged = self._retired_stats.merged_with(MultiplierStats())
         for context in self._cache.contexts():
             merged = merged.merged_with(context.stats)
-        return merged
+        return EngineStats(operations=merged, cache=self._cache.stats.snapshot())
 
     def describe(self) -> Dict[str, object]:
         """Engine configuration and state as a JSON-friendly dictionary."""
@@ -254,7 +282,9 @@ class Engine:
                 "max_entries": self._cache.max_entries,
                 **self._cache.stats.as_dict(),
             },
-            "stats": self.stats().as_dict(),
+            # Operation counters only: the cache counters already appear
+            # (with residency) under "cache" above.
+            "stats": self.stats().operations.as_dict(),
         }
 
     def _retire_context(self, context: EngineContext) -> None:

@@ -54,3 +54,15 @@ class CurveError(ReproError, ValueError):
 
 class NttError(ReproError, ValueError):
     """An NTT size or modulus is unsupported."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The serving layer could not accept or complete a request."""
+
+
+class AdmissionError(ServiceError):
+    """A request was rejected at admission (queue full — backpressure)."""
+
+
+class DeadlineError(ServiceError):
+    """A request's deadline expired before it could be dispatched."""

@@ -3,7 +3,8 @@
 Importing this module registers every reproduction entry point —
 ``table1``, ``figure1``, ``figure5``, ``figure6``, ``figure7``, ``table3``,
 ``headline``, plus the beyond-the-paper ``energy`` sweep, the design-space
-``design-point`` and the multi-macro ``chip-scaling`` exhibit — with
+``design-point``, the multi-macro ``chip-scaling`` exhibit and the async
+``serving-throughput`` exhibit — with
 :mod:`repro.experiments.registry`.
 The registry imports it lazily, so :mod:`repro.experiments` never drags the
 analysis layer in at import time.
@@ -23,6 +24,10 @@ from repro.analysis.figure5 import Figure5Result, reproduce_figure5
 from repro.analysis.figure6 import Figure6Result, reproduce_figure6
 from repro.analysis.figure7 import Figure7Result, reproduce_figure7
 from repro.analysis.headline import HeadlineResult, reproduce_headline_claims
+from repro.analysis.serving import (
+    ServingThroughputResult,
+    reproduce_serving_throughput,
+)
 from repro.analysis.table1 import TableOneResult, reproduce_tables
 from repro.analysis.table3 import Table3Result, reproduce_table3
 from repro.core.complexity import PAPER_FIGURE1_BITWIDTHS
@@ -237,6 +242,44 @@ register_experiment(
             "msm_points": 16,
         },
         sweep_axes=("workload", "bitwidth", "vector_size", "msm_points", "signatures"),
+    )
+)
+
+register_experiment(
+    ExperimentDefinition(
+        name="serving-throughput",
+        title="Async serving layer: multi-tenant throughput and latency",
+        description=(
+            "Drive the asyncio Server with concurrent multi-tenant traffic "
+            "(operand batches + product-tree workload graphs, every product "
+            "verified); report throughput, latency percentiles, batching "
+            "coalescing and context-cache behaviour."
+        ),
+        run=reproduce_serving_throughput,
+        serialize=ServingThroughputResult.to_dict,
+        deserialize=ServingThroughputResult.from_dict,
+        defaults={
+            "backend": "r4csa-lut",
+            "curve": "bn254",
+            "tenants": 4,
+            "requests": 32,
+            "pairs_per_request": 8,
+            "graph_every": 8,
+            "graph_leaves": 16,
+            "max_batch": 64,
+            "batch_window_ms": 1.0,
+            "seed": 2024,
+        },
+        quick_overrides={
+            "tenants": 2,
+            "requests": 8,
+            "pairs_per_request": 4,
+            "graph_leaves": 8,
+        },
+        sweep_axes=("backend", "tenants", "requests", "max_batch", "batch_window_ms"),
+        # Headline figures are wall-clock measurements of this machine:
+        # serving a cached timing as freshly measured would mislead.
+        cacheable=False,
     )
 )
 

@@ -62,6 +62,10 @@ class ExperimentDefinition:
     quick_overrides: Mapping[str, Any] = field(default_factory=dict)
     #: Parameters that make natural sweep/grid axes.
     sweep_axes: Tuple[str, ...] = ()
+    #: Whether results may be served from the disk cache.  ``False`` for
+    #: experiments whose headline figures are wall-clock measurements of
+    #: *this* machine (serving a stale timing as fresh would mislead).
+    cacheable: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "defaults", MappingProxyType(dict(self.defaults)))
@@ -117,6 +121,7 @@ class ExperimentDefinition:
             "defaults": dict(self.defaults),
             "quick_overrides": dict(self.quick_overrides),
             "sweep_axes": list(self.sweep_axes),
+            "cacheable": self.cacheable,
         }
 
 

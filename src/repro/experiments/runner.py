@@ -197,7 +197,8 @@ class Runner:
         results: List[Optional[ExperimentResult]] = [None] * len(jobs)
         misses: List[int] = []
         for index, (name, params) in enumerate(jobs):
-            cached = self._cache_load(name, params) if self.use_cache else None
+            usable = self.use_cache and get_experiment(name).cacheable
+            cached = self._cache_load(name, params) if usable else None
             if cached is not None:
                 results[index] = cached
             else:
@@ -205,7 +206,7 @@ class Runner:
 
         for index, result in zip(misses, self._execute_many([jobs[i] for i in misses])):
             results[index] = result
-            if self.use_cache:
+            if self.use_cache and get_experiment(result.experiment).cacheable:
                 self._cache_store(result)
         return [result for result in results if result is not None]
 

@@ -29,7 +29,14 @@ from repro.modsram.area import (
     AreaModel,
     AreaParameters,
 )
-from repro.modsram.chip import Chip, ChipSchedule, ChipScheduler, MultiplicationJob
+from repro.modsram.chip import (
+    Chip,
+    ChipGraphRun,
+    ChipSchedule,
+    ChipScheduler,
+    GraphSchedule,
+    MultiplicationJob,
+)
 from repro.modsram.config import PAPER_CONFIG, ModSRAMConfig
 from repro.modsram.controller import Controller, ControllerState, CycleBudget
 from repro.modsram.datapath import DatapathStats, NearMemoryDatapath
@@ -63,8 +70,10 @@ __all__ = [
     "AreaModel",
     "AreaParameters",
     "Chip",
+    "ChipGraphRun",
     "ChipSchedule",
     "ChipScheduler",
+    "GraphSchedule",
     "Controller",
     "ControllerState",
     "CycleBudget",

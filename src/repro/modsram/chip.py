@@ -21,8 +21,9 @@ Two layers share the placement core:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.modsram.analytical import AnalyticalCostModel, AnalyticalModSRAM
@@ -30,7 +31,17 @@ from repro.modsram.config import ModSRAMConfig
 from repro.modsram.report import MultiplicationResult
 from repro.sram.stats import ArrayStats
 
-__all__ = ["MultiplicationJob", "ChipSchedule", "ChipScheduler", "Chip"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.workloads.graph import WorkloadGraph
+
+__all__ = [
+    "MultiplicationJob",
+    "ChipSchedule",
+    "ChipScheduler",
+    "GraphSchedule",
+    "ChipGraphRun",
+    "Chip",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +123,195 @@ class ChipSchedule:
             "throughput_mops": self.throughput_mops,
             "frequency_mhz": self.frequency_mhz,
         }
+
+
+@dataclass(frozen=True)
+class GraphSchedule:
+    """Outcome of dependency-aware dispatch of one workload graph.
+
+    Unlike :class:`ChipSchedule` (whose streams never idle a macro), a
+    graph schedule distinguishes *busy* cycles from the *makespan*: a macro
+    may sit idle waiting for a dependency, so ``utilization`` measures how
+    much of the chip's capacity the dependency structure let the scheduler
+    actually use.
+    """
+
+    operation: str
+    macros: int
+    jobs: int
+    per_macro_jobs: Tuple[int, ...]
+    per_macro_busy_cycles: Tuple[int, ...]
+    makespan_cycles: int
+    #: Cost of the longest dependency chain — the makespan lower bound no
+    #: macro count can beat.
+    critical_path_cycles: int
+    #: Topological depth of the graph (levels of the ready-front dispatch).
+    depth: int
+    lut_refills: int
+    frequency_mhz: float
+
+    @property
+    def total_busy_cycles(self) -> int:
+        """Cycles of actual work summed over every macro."""
+        return sum(self.per_macro_busy_cycles)
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the chip over the makespan (1.0 = no idling)."""
+        if not self.jobs or self.makespan_cycles == 0:
+            return 0.0
+        return self.total_busy_cycles / (self.macros * self.makespan_cycles)
+
+    @property
+    def lut_reuse_rate(self) -> float:
+        """Fraction of jobs that reused a resident radix-4 LUT."""
+        if not self.jobs:
+            return 0.0
+        return 1.0 - self.lut_refills / self.jobs
+
+    @property
+    def latency_ms(self) -> float:
+        """Wall-clock makespan at the macro clock."""
+        return self.makespan_cycles / (self.frequency_mhz * 1e6) * 1e3
+
+    @property
+    def throughput_mops(self) -> float:
+        """Modular multiplications per second (in millions) at the clock."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.jobs / (self.makespan_cycles / (self.frequency_mhz * 1e6)) / 1e6
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat summary for reports and JSON payloads."""
+        return {
+            "operation": self.operation,
+            "macros": self.macros,
+            "jobs": self.jobs,
+            "per_macro_jobs": list(self.per_macro_jobs),
+            "per_macro_busy_cycles": list(self.per_macro_busy_cycles),
+            "makespan_cycles": self.makespan_cycles,
+            "critical_path_cycles": self.critical_path_cycles,
+            "depth": self.depth,
+            "total_busy_cycles": self.total_busy_cycles,
+            "lut_refills": self.lut_refills,
+            "lut_reuse_rate": self.lut_reuse_rate,
+            "utilization": self.utilization,
+            "latency_ms": self.latency_ms,
+            "throughput_mops": self.throughput_mops,
+            "frequency_mhz": self.frequency_mhz,
+        }
+
+
+def _dispatch_graph(
+    graph: "WorkloadGraph",
+    macros: int,
+    iteration_cycles: int,
+    refill_cycles: int,
+    execute=None,
+    placement_key=None,
+):
+    """Dependency-aware, LUT-residency-aware list scheduling.
+
+    Nodes enter the ready heap when every dependency has finished, ordered
+    by ``(ready time, -priority, index)``; each popped node is placed on
+    the macro where it *finishes* earliest, with ties broken toward the
+    macro whose resident LUT already matches (then the lowest index) — the
+    exact placement rule of the flat stream scheduler, generalised with
+    start times.  For a dependency-free graph this degenerates to the flat
+    scheduler's placement decision for decision, which is what the parity
+    tests pin down.
+
+    ``execute(node, macro)``, when given, runs the node on that macro and
+    returns its *measured* cycles, which replace the nominal charge (the
+    placement decision itself always uses the nominal cost, mirroring
+    :meth:`Chip.multiply`).  ``placement_key(node)``, when given,
+    overrides the LUT-residency key (execution paths key on the resolved
+    multiplicand *value* so the schedule's reuse accounting matches what
+    the macros actually measure).
+    """
+    nodes = graph.nodes
+    count = len(nodes)
+    dependents: List[List[int]] = [[] for _ in range(count)]
+    remaining = [0] * count
+    for node in nodes:
+        deps = set(node.deps)
+        remaining[node.index] = len(deps)
+        for dep in deps:
+            dependents[dep].append(node.index)
+
+    free = [0] * macros
+    busy = [0] * macros
+    jobs_on = [0] * macros
+    resident: List[Optional[str]] = [None] * macros
+    refills = 0
+    finish = [0] * count
+    critical = [0] * count
+
+    ready = [
+        (0, -nodes[index].priority, index)
+        for index in range(count)
+        if remaining[index] == 0
+    ]
+    heapq.heapify(ready)
+    while ready:
+        ready_time, _, index = heapq.heappop(ready)
+        node = nodes[index]
+        key = node.multiplicand if placement_key is None else placement_key(node)
+        best_macro = 0
+        best_finish: Optional[int] = None
+        best_reused = False
+        best_start = 0
+        for macro in range(macros):
+            reused = resident[macro] == key
+            cost = iteration_cycles + (0 if reused else refill_cycles)
+            start = max(free[macro], ready_time)
+            finish_time = start + cost
+            if (
+                best_finish is None
+                or finish_time < best_finish
+                or (finish_time == best_finish and reused and not best_reused)
+            ):
+                best_macro = macro
+                best_finish = finish_time
+                best_reused = reused
+                best_start = start
+        cost = iteration_cycles + (0 if best_reused else refill_cycles)
+        if execute is not None:
+            cost = execute(node, best_macro)
+            best_finish = best_start + cost
+        free[best_macro] = best_finish
+        busy[best_macro] += cost
+        jobs_on[best_macro] += 1
+        resident[best_macro] = key
+        if not best_reused:
+            refills += 1
+        finish[index] = best_finish
+        critical[index] = cost + max(
+            (critical[dep] for dep in node.deps), default=0
+        )
+        for dependent in dependents[index]:
+            remaining[dependent] -= 1
+            if remaining[dependent] == 0:
+                ready_at = max(
+                    (finish[dep] for dep in nodes[dependent].deps), default=0
+                )
+                heapq.heappush(
+                    ready, (ready_at, -nodes[dependent].priority, dependent)
+                )
+
+    if sum(jobs_on) != count:
+        raise ConfigurationError(
+            f"graph dispatch scheduled {sum(jobs_on)} of {count} nodes; "
+            "the dependency structure is not a DAG"
+        )
+    return {
+        "jobs": count,
+        "per_macro_jobs": tuple(jobs_on),
+        "per_macro_busy_cycles": tuple(busy),
+        "makespan_cycles": max(finish, default=0),
+        "critical_path_cycles": max(critical, default=0),
+        "lut_refills": refills,
+    }
 
 
 class _PlacementState:
@@ -206,6 +406,50 @@ class ChipScheduler:
             frequency_mhz=self.config.frequency_mhz,
         )
 
+    def schedule_graph(
+        self,
+        graph: "WorkloadGraph",
+        operation: Optional[str] = None,
+    ) -> GraphSchedule:
+        """Dependency-aware dispatch of one workload graph.
+
+        Ready fronts (nodes whose dependencies have finished) are placed
+        finish-time-greedy and LUT-residency-aware across the macros; a
+        node never starts before its dependencies complete, so — unlike
+        :meth:`schedule`, which assumes a stream of independent jobs — the
+        resulting makespan is *valid* for dependent workloads.  For a
+        dependency-free graph the two paths place identically.
+        """
+        dispatch = _dispatch_graph(
+            graph,
+            self.macros,
+            self.cost_model.iteration_cycles(),
+            self.cost_model.radix4_refill_cycles(),
+        )
+        return GraphSchedule(
+            operation=operation or getattr(graph, "name", "graph"),
+            macros=self.macros,
+            depth=graph.depth,
+            frequency_mhz=self.config.frequency_mhz,
+            **dispatch,
+        )
+
+
+@dataclass(frozen=True)
+class ChipGraphRun:
+    """Products plus schedule of one graph executed on a :class:`Chip`."""
+
+    schedule: GraphSchedule
+    #: Product of every node, indexed like the graph's nodes.
+    values: Tuple[int, ...]
+    #: Node indices nothing depends on (the request's results).
+    sinks: Tuple[int, ...]
+
+    @property
+    def results(self) -> Tuple[int, ...]:
+        """The sink products, in node order."""
+        return tuple(self.values[index] for index in self.sinks)
+
 
 class Chip:
     """``N`` analytical-tier macros executing real multiplications.
@@ -258,6 +502,73 @@ class Chip:
     ) -> List[MultiplicationResult]:
         """Dispatch a batch of operand pairs across the chip."""
         return [self.multiply(a, b, modulus) for a, b in pairs]
+
+    def run_graph(
+        self,
+        graph: "WorkloadGraph",
+        modulus: int,
+        operation: Optional[str] = None,
+    ) -> ChipGraphRun:
+        """Execute an operand-carrying graph across the chip's macros.
+
+        Placement is the same dependency-aware, LUT-residency-aware rule
+        as :meth:`ChipScheduler.schedule_graph`; every node then runs on
+        its macro's :class:`AnalyticalModSRAM` and the *measured* cycle
+        report replaces the nominal charge (mirroring :meth:`multiply`).
+        Products are bit-identical to evaluating the nodes one by one —
+        placement changes the timing, never the arithmetic.
+        """
+        if not getattr(graph, "executable", False):
+            raise ConfigurationError(
+                f"graph {getattr(graph, 'name', '?')!r} is structural "
+                "(nodes without operands); only operand-carrying graphs "
+                "can be executed"
+            )
+        values: List[Optional[int]] = [None] * len(graph.nodes)
+
+        def resolve(operand) -> int:
+            if hasattr(operand, "node"):
+                resolved = values[operand.node]
+                assert resolved is not None  # dispatch order guarantees it
+                return resolved
+            return int(operand) % modulus
+
+        def execute(node, macro: int) -> int:
+            result = self._macros[macro].multiply(
+                resolve(node.a), resolve(node.b), modulus
+            )
+            values[node.index] = result.product
+            return (
+                result.report.iteration_cycles
+                + result.report.precompute_cycles
+            )
+
+        def placement_key(node) -> str:
+            # Key residency on the actual multiplicand value (mirroring
+            # :meth:`multiply`), so the schedule's reuse accounting agrees
+            # with the precompute cycles the macros measure.
+            return f"{resolve(node.b):#x}@{modulus:#x}"
+
+        dispatch = _dispatch_graph(
+            graph,
+            self.macros,
+            self._state.iteration_cycles,
+            self._state.refill_cycles,
+            execute=execute,
+            placement_key=placement_key,
+        )
+        schedule = GraphSchedule(
+            operation=operation or getattr(graph, "name", "graph"),
+            macros=self.macros,
+            depth=graph.depth,
+            frequency_mhz=self.config.frequency_mhz,
+            **dispatch,
+        )
+        return ChipGraphRun(
+            schedule=schedule,
+            values=tuple(value for value in values),  # type: ignore[arg-type]
+            sinks=tuple(graph.sinks()),
+        )
 
     def activity(self, operation: str = "executed") -> ChipSchedule:
         """Schedule summary of everything executed so far."""

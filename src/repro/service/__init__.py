@@ -1,0 +1,46 @@
+"""Async serving layer over the Workload Graph API and the Engine.
+
+The production-shaped path the roadmap asks for: many concurrent tenants
+submit work (single multiplications, operand batches, operand-carrying
+workload graphs) to one :class:`Server`, which admits, queues, coalesces
+and dispatches it through a shared context-cached
+:class:`~repro.engine.Engine`::
+
+    import asyncio
+    from repro.service import Client, Server
+    from repro.workloads import product_tree_graph
+
+    async def main():
+        async with Server(backend="r4csa-lut", curve="bn254") as server:
+            client = Client(server, tenant="alice")
+            print(int((await client.multiply(3, 5)).value))
+            tree = product_tree_graph(range(2, 18))
+            print((await client.submit_graph(tree)).values)
+
+    asyncio.run(main())
+
+``repro serve --self-test`` drives the built-in multi-tenant traffic mix
+(:mod:`repro.service.selftest`), ``repro submit`` sends one request from
+the shell, and the ``serving-throughput`` experiment plus
+``benchmarks/bench_serve.py`` measure the layer end to end.
+"""
+
+from repro.errors import AdmissionError, DeadlineError, ServiceError
+from repro.service.client import Client
+from repro.service.metrics import LatencyStats, ServiceMetrics
+from repro.service.selftest import run_self_test, self_test
+from repro.service.server import Response, Server, ServerConfig
+
+__all__ = [
+    "AdmissionError",
+    "Client",
+    "DeadlineError",
+    "LatencyStats",
+    "Response",
+    "Server",
+    "ServerConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "run_self_test",
+    "self_test",
+]

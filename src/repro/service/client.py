@@ -1,0 +1,73 @@
+"""A thin per-tenant client over one :class:`~repro.service.server.Server`.
+
+Binds a tenant name, a default priority and a default deadline once, so
+call sites read like RPC stubs::
+
+    client = Client(server, tenant="wallet-7", deadline_ms=50.0)
+    response = await client.multiply(a, b)
+    inverse_tree = await client.submit_graph(product_tree_graph(values))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.service.server import Response, Server
+from repro.workloads.graph import WorkloadGraph
+
+__all__ = ["Client"]
+
+
+class Client:
+    """Tenant-scoped submission handle (any number may share a server)."""
+
+    def __init__(
+        self,
+        server: Server,
+        tenant: str = "default",
+        priority: int = 0,
+        deadline_ms: Optional[float] = None,
+    ) -> None:
+        self.server = server
+        self.tenant = tenant
+        self.priority = priority
+        self.deadline_ms = deadline_ms
+
+    async def multiply(
+        self, a: int, b: int, modulus: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Response:
+        """One modular multiplication through the server's batcher."""
+        return await self.server.multiply(
+            a, b, modulus,
+            tenant=self.tenant,
+            priority=self.priority,
+            deadline_ms=self.deadline_ms if deadline_ms is None else deadline_ms,
+        )
+
+    async def multiply_batch(
+        self, pairs: Sequence[Tuple[int, int]], modulus: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Response:
+        """A batch of operand pairs as one request."""
+        return await self.server.multiply_batch(
+            pairs, modulus,
+            tenant=self.tenant,
+            priority=self.priority,
+            deadline_ms=self.deadline_ms if deadline_ms is None else deadline_ms,
+        )
+
+    async def submit_graph(
+        self, graph: WorkloadGraph, modulus: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Response:
+        """An operand-carrying workload graph as one request."""
+        return await self.server.submit_graph(
+            graph, modulus,
+            tenant=self.tenant,
+            priority=self.priority,
+            deadline_ms=self.deadline_ms if deadline_ms is None else deadline_ms,
+        )
+
+    def __repr__(self) -> str:
+        return f"Client(tenant={self.tenant!r}, server={self.server.engine!r})"

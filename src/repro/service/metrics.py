@@ -1,0 +1,161 @@
+"""Latency / throughput / queue metrics for the serving layer.
+
+Pure-python accounting: the server records one sample per completed
+request and one per executed batch; :meth:`ServiceMetrics.summary`
+condenses them into the payload the ``serving-throughput`` experiment,
+``repro serve --self-test`` and ``BENCH_serve.json`` report.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["LatencyStats", "ServiceMetrics"]
+
+#: Samples kept for percentile estimation; older samples roll off so a
+#: long-lived server's memory stays bounded.
+LATENCY_WINDOW = 4096
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[rank]
+
+
+@dataclass
+class LatencyStats:
+    """Request latency accounting (seconds) with percentile summaries.
+
+    Only the most recent :data:`LATENCY_WINDOW` samples are retained (a
+    rolling window over recent traffic), so memory stays bounded on a
+    long-lived server; ``count`` and ``mean_ms`` cover *every* recorded
+    sample.
+    """
+
+    samples: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
+    )
+    total: int = 0
+    total_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+        self.total += 1
+        self.total_seconds += seconds
+
+    @property
+    def count(self) -> int:
+        return self.total
+
+    @property
+    def mean_ms(self) -> float:
+        if not self.total:
+            return 0.0
+        return self.total_seconds / self.total * 1e3
+
+    def percentile_ms(self, fraction: float) -> float:
+        return _percentile(sorted(self.samples), fraction) * 1e3
+
+    def as_dict(self) -> Dict[str, float]:
+        window = sorted(self.samples)
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": _percentile(window, 0.50) * 1e3,
+            "p95_ms": _percentile(window, 0.95) * 1e3,
+            "p99_ms": _percentile(window, 0.99) * 1e3,
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """Everything the server counts while it runs."""
+
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    queue_latency: LatencyStats = field(default_factory=LatencyStats)
+    completed_requests: int = 0
+    completed_multiplications: int = 0
+    rejected_requests: int = 0
+    deadline_misses: int = 0
+    batches: int = 0
+    batched_pairs: int = 0
+    per_tenant_completed: Dict[str, int] = field(default_factory=dict)
+    started_at: Optional[float] = None
+    stopped_at: Optional[float] = None
+    #: Serving time of completed start/stop cycles, so throughput stays
+    #: honest across server restarts (counters span runs; so must time).
+    accumulated_seconds: float = 0.0
+
+    def start(self) -> None:
+        if self.started_at is not None and self.stopped_at is not None:
+            self.accumulated_seconds += max(
+                self.stopped_at - self.started_at, 0.0
+            )
+        self.started_at = time.perf_counter()
+        self.stopped_at = None
+
+    def stop(self) -> None:
+        self.stopped_at = time.perf_counter()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        if self.started_at is None:
+            return self.accumulated_seconds
+        end = self.stopped_at if self.stopped_at is not None else time.perf_counter()
+        return self.accumulated_seconds + max(end - self.started_at, 0.0)
+
+    def record_completion(
+        self, tenant: str, multiplications: int, latency_s: float, queued_s: float
+    ) -> None:
+        self.completed_requests += 1
+        self.completed_multiplications += multiplications
+        self.latency.record(latency_s)
+        self.queue_latency.record(queued_s)
+        self.per_tenant_completed[tenant] = (
+            self.per_tenant_completed.get(tenant, 0) + 1
+        )
+
+    def record_batch(self, pairs: int) -> None:
+        self.batches += 1
+        self.batched_pairs += pairs
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return self.batched_pairs / self.batches
+
+    @property
+    def requests_per_second(self) -> float:
+        elapsed = self.elapsed_seconds
+        return self.completed_requests / elapsed if elapsed else 0.0
+
+    @property
+    def multiplications_per_second(self) -> float:
+        elapsed = self.elapsed_seconds
+        return self.completed_multiplications / elapsed if elapsed else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """The JSON-friendly metrics payload."""
+        return {
+            "completed_requests": self.completed_requests,
+            "completed_multiplications": self.completed_multiplications,
+            "rejected_requests": self.rejected_requests,
+            "deadline_misses": self.deadline_misses,
+            "elapsed_seconds": self.elapsed_seconds,
+            "requests_per_second": self.requests_per_second,
+            "multiplications_per_second": self.multiplications_per_second,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "latency": self.latency.as_dict(),
+            "queue_latency": self.queue_latency.as_dict(),
+            "per_tenant_completed": dict(sorted(self.per_tenant_completed.items())),
+        }

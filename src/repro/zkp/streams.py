@@ -1,9 +1,16 @@
 """ZKP workload streams (NTT / MSM) for chip-level dispatch.
 
-Generates the :class:`~repro.modsram.chip.MultiplicationJob` streams of the
-two dominant ZKP kernels of Figure 7 so the multi-macro chip model can
-schedule them.  The NTT stream is emitted twiddle-major — all butterflies
-sharing a twiddle factor are consecutive — which is the operand ordering a
+The *linear views* of the Workload Graph API's ZKP builders:
+:func:`repro.workloads.builders.ntt_graph` and
+:func:`repro.workloads.builders.msm_graph` are the canonical,
+dependency-aware form of the two dominant ZKP kernels of Figure 7, and
+``graph.to_jobs()`` reproduces exactly the sequences emitted here (pinned
+by ``tests/workloads/test_builders.py``).  The streams stay hand-rolled
+generators so the ``2^16``-scale workloads of the chip-scaling experiment
+schedule in O(1) memory without materialising the graph first.
+
+The NTT stream is emitted twiddle-major — all butterflies sharing a
+twiddle factor are consecutive — which is the operand ordering a
 LUT-reuse-aware mapping would choose and the ordering under which the
 paper's data-reuse argument applies to NTT; the MSM stream expands the
 bucket method's point operations through the ECC sequences.

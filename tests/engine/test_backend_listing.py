@@ -1,0 +1,70 @@
+"""Regression tests: backend listings are deterministically sorted by name.
+
+The registry is a plain dict populated by import side effects, so without
+an explicit sort every listing (`repro backends`, ``available_backends``,
+the JSON capability matrix) would depend on insertion order — which varies
+with which module happened to be imported first.  These tests pin the
+sorted contract, including after late out-of-order registrations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import available_backends, get_backend, register_backend
+from repro.engine.backend import _REGISTRY, MultiplierBackend
+
+
+class TestSortedListings:
+    def test_available_backends_is_sorted(self):
+        names = available_backends()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_listing_stays_sorted_after_out_of_order_registration(self):
+        # "aaa-..." would lead the list; "zzz-..." would trail it.  Register
+        # them in reverse-alphabetical order and check both land sorted.
+        extras = []
+        try:
+            for name in ("zzz-test-backend", "aaa-test-backend"):
+                backend = MultiplierBackend("schoolbook")
+                # Rebrand the probe so the registry sees a distinct name.
+                backend.info = backend.info.__class__(
+                    **{**backend.info.as_dict(), "name": name,
+                       "supported_bitwidths": None}
+                )
+                register_backend(backend)
+                extras.append(name)
+            names = available_backends()
+            assert names == sorted(names)
+            assert names[0] == "aaa-test-backend"
+            assert names[-1] == "zzz-test-backend"
+        finally:
+            for name in extras:
+                _REGISTRY.pop(name, None)
+
+    def test_cli_text_listing_rows_are_sorted(self, capsys):
+        assert main(["backends"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        rows = [
+            line.split("|")[0].strip()
+            for line in lines
+            if "|" in line and not line.startswith(("backend", "-"))
+        ]
+        rows = [row for row in rows if row]
+        assert rows == sorted(rows)
+        assert rows == available_backends()
+
+    def test_cli_json_listing_is_sorted(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [entry["name"] for entry in payload["backends"]]
+        assert names == sorted(names)
+        assert names == available_backends()
+
+    def test_get_backend_agrees_with_the_listing(self):
+        for name in available_backends():
+            assert get_backend(name).info.name == name

@@ -83,10 +83,25 @@ class TestBackendsCommand:
     def test_json_matches_registry(self, capsys):
         assert main(["backends", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert sorted(entry["name"] for entry in payload) == available_backends()
-        by_name = {entry["name"]: entry for entry in payload}
+        backends = payload["backends"]
+        assert [entry["name"] for entry in backends] == available_backends()
+        by_name = {entry["name"]: entry for entry in backends}
         assert by_name["modsram"]["kind"] == "accelerator"
         assert by_name["r4csa-lut"]["has_cycle_model"] is True
+
+    def test_json_exposes_context_cache_counters(self, capsys):
+        from repro.engine import Engine, reset_global_cache_stats
+
+        reset_global_cache_stats()
+        engine = Engine(backend="barrett", modulus=997)
+        engine.multiply(3, 5)
+        engine.multiply(4, 6)
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cache = payload["context_cache"]
+        assert cache["misses"] == 1
+        assert cache["hits"] == 1
+        assert 0.0 <= cache["hit_rate"] <= 1.0
 
 
 class TestParser:

@@ -36,6 +36,7 @@ ROUND_TRIP_CASES = (
     ("design-point", {}, True),
     ("chip-scaling", {}, True),
     ("chip-scaling", {"workload": "ntt", "vector_size": 512, "macro_counts": [1, 4]}, False),
+    ("serving-throughput", {"backend": "montgomery"}, True),
 )
 
 

@@ -22,6 +22,7 @@ ALL_EXAMPLES = (
     "design_space_exploration.py",
     "dataflow_walkthrough.py",
     "ecdsa_signing.py",
+    "serving_quickstart.py",
 )
 #: Examples cheap enough to execute end-to-end inside the unit-test suite.
 FAST_EXAMPLES = (
@@ -29,6 +30,7 @@ FAST_EXAMPLES = (
     "engine_quickstart.py",
     "dataflow_walkthrough.py",
     "ecdsa_signing.py",
+    "serving_quickstart.py",
 )
 
 

@@ -1,0 +1,174 @@
+"""Tests for the workload graph builders and their stream parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc.streams import (
+    ecdsa_sign_stream,
+    point_operation_jobs,
+    scalar_multiplication_stream,
+)
+from repro.errors import OperandRangeError
+from repro.modsram.scheduler import DOUBLING_SEQUENCE, MIXED_ADDITION_SEQUENCE
+from repro.workloads import (
+    ecdsa_sign_graph,
+    msm_graph,
+    ntt_graph,
+    point_operation_graph,
+    product_tree_graph,
+    scalar_multiplication_graph,
+)
+from repro.zkp.streams import msm_stream, ntt_stream
+
+
+class TestStreamParity:
+    """graph.to_jobs() must reproduce the legacy streams exactly."""
+
+    def test_point_operation(self):
+        graph = point_operation_graph(DOUBLING_SEQUENCE, tag="dbl[0]")
+        assert list(graph.to_jobs()) == list(
+            point_operation_jobs(DOUBLING_SEQUENCE, "dbl[0]")
+        )
+
+    def test_scalar_multiplication(self):
+        graph = scalar_multiplication_graph(48)
+        assert list(graph.to_jobs()) == list(scalar_multiplication_stream(48))
+
+    def test_ecdsa_sign(self):
+        graph = ecdsa_sign_graph(32, signatures=2)
+        assert list(graph.to_jobs()) == list(
+            ecdsa_sign_stream(32, signatures=2)
+        )
+
+    def test_ntt(self):
+        graph = ntt_graph(128)
+        assert list(graph.to_jobs()) == list(ntt_stream(128))
+
+    def test_msm(self):
+        graph = msm_graph(8, window_bits=2, scalar_bits=8)
+        assert list(graph.to_jobs()) == list(
+            msm_stream(8, window_bits=2, scalar_bits=8)
+        )
+
+
+class TestPointOperationStructure:
+    def test_doubling_has_intra_op_parallelism(self):
+        graph = point_operation_graph(DOUBLING_SEQUENCE, tag="dbl")
+        # yy, xx and z3 are mutually independent: depth far below node count.
+        assert graph.depth < len(graph)
+        assert graph.width >= 3
+
+    def test_mixed_addition_dependencies_follow_the_formula(self):
+        graph = point_operation_graph(MIXED_ADDITION_SEQUENCE, tag="add")
+        by_product = {
+            name: graph.node(index)
+            for index, (name, _, _) in enumerate(MIXED_ADDITION_SEQUENCE)
+        }
+        # hh = h^2 with h = u2 - x1: must depend on the u2 node.
+        assert by_product["u2"].index in by_product["hh"].deps
+        # t1 = r * (v_minus_x3) joins r (via s2), v, rr and hhh.
+        assert by_product["s2"].index in by_product["t1"].deps
+        assert by_product["v"].index in by_product["t1"].deps
+        assert by_product["rr"].index in by_product["t1"].deps
+
+
+class TestScalarMultiplicationStructure:
+    def test_ladder_steps_chain(self):
+        graph = scalar_multiplication_graph(8, additions=0)
+        # Depth grows with the ladder: each doubling waits for the previous.
+        assert graph.depth >= 8
+        # But each step contributes fewer levels than multiplications.
+        assert graph.depth < len(graph)
+
+    def test_validation(self):
+        with pytest.raises(OperandRangeError):
+            scalar_multiplication_graph(0)
+
+
+class TestEcdsaStructure:
+    def test_inversion_overlaps_the_ladder(self):
+        graph = ecdsa_sign_graph(16)
+        levels = graph.topological_levels()
+        # The inversion chain starts at level 0 (independent of the ladder):
+        # some level must contain both a ladder node and an inversion node.
+        tags_at_level0 = {graph.node(index).tag for index in levels[0]}
+        assert "inversion" in tags_at_level0
+        assert any(tag.startswith("dbl[") for tag in tags_at_level0)
+
+    def test_signatures_are_independent(self):
+        one = ecdsa_sign_graph(16, signatures=1)
+        four = ecdsa_sign_graph(16, signatures=4)
+        # Same critical-path depth, four times the nodes: pure width.
+        assert four.depth == one.depth
+        assert len(four) == 4 * len(one)
+        assert four.width == 4 * one.width
+
+    def test_s_computation_joins_both_strands(self):
+        graph = ecdsa_sign_graph(8)
+        final = graph.nodes[-1]
+        assert final.tag == "s-computation"
+        assert len(final.deps) >= 2
+        assert graph.sinks() == [final.index]
+
+    def test_validation(self):
+        with pytest.raises(OperandRangeError):
+            ecdsa_sign_graph(16, signatures=0)
+        with pytest.raises(OperandRangeError):
+            ecdsa_sign_graph(0)
+
+
+class TestNttStructure:
+    def test_levels_are_the_stages(self):
+        size = 64
+        graph = ntt_graph(size)
+        levels = graph.topological_levels()
+        assert len(levels) == 6  # log2(64)
+        assert all(len(level) == size // 2 for level in levels)
+        assert graph.width == size // 2
+
+    def test_butterflies_depend_on_both_inputs(self):
+        graph = ntt_graph(8)
+        levels = graph.topological_levels()
+        for index in levels[1]:
+            assert len(graph.node(index).deps) == 2
+
+    def test_validation(self):
+        with pytest.raises(OperandRangeError):
+            ntt_graph(3)
+        with pytest.raises(OperandRangeError):
+            ntt_graph(0)
+
+
+class TestMsmStructure:
+    def test_windows_parallel_until_horner(self):
+        graph = msm_graph(8, window_bits=2, scalar_bits=8)
+        # Bucket chains across windows are independent: width exceeds one
+        # point operation by a wide margin.
+        assert graph.width > len(MIXED_ADDITION_SEQUENCE)
+        assert graph.depth < len(graph)
+
+    def test_validation(self):
+        with pytest.raises(OperandRangeError):
+            msm_graph(0)
+        with pytest.raises(OperandRangeError):
+            msm_graph(8, scalar_bits=0)
+
+
+class TestProductTree:
+    def test_structure_and_executability(self):
+        graph = product_tree_graph(range(2, 18))  # 16 leaves
+        assert len(graph) == 15
+        assert graph.depth == 4
+        assert graph.width == 8
+        assert graph.executable
+        assert len(graph.sinks()) == 1
+
+    def test_odd_leaf_counts_carry_over(self):
+        graph = product_tree_graph([2, 3, 5])
+        assert len(graph) == 2
+        assert graph.depth == 2
+
+    def test_validation(self):
+        with pytest.raises(OperandRangeError):
+            product_tree_graph([7])

@@ -1,0 +1,124 @@
+"""Tests for the WorkloadGraph core: construction, levels, views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.modsram.chip import MultiplicationJob
+from repro.workloads import Ref, WorkloadGraph
+
+
+def diamond() -> WorkloadGraph:
+    """a -> (b, c) -> d: the smallest graph with real parallelism."""
+    graph = WorkloadGraph("diamond")
+    a = graph.add("a")
+    b = graph.add("b", deps=[a])
+    c = graph.add("c", deps=[a])
+    graph.add("d", deps=[b, c])
+    return graph
+
+
+class TestConstruction:
+    def test_insertion_is_topological(self):
+        graph = diamond()
+        assert len(graph) == 4
+        for node in graph:
+            assert all(dep < node.index for dep in node.deps)
+
+    def test_forward_dependency_is_rejected(self):
+        graph = WorkloadGraph()
+        graph.add("a")
+        with pytest.raises(ConfigurationError, match="not an earlier node"):
+            graph.add("b", deps=[5])
+
+    def test_self_dependency_is_rejected(self):
+        graph = WorkloadGraph()
+        with pytest.raises(ConfigurationError):
+            graph.add("a", deps=[0])
+
+    def test_operand_refs_become_deps(self):
+        graph = WorkloadGraph()
+        a = graph.add("a", a=3, b=5)
+        b = graph.add("b", a=Ref(a), b=7)
+        assert graph.node(b).deps == (a,)
+        assert graph.executable
+
+    def test_metadata_round_trips(self):
+        graph = WorkloadGraph()
+        index = graph.add(
+            "key", tag="op", field_name="bn254.base", priority=3
+        )
+        node = graph.node(index)
+        assert node.tag == "op"
+        assert node.field_name == "bn254.base"
+        assert node.priority == 3
+        assert node.job() == MultiplicationJob(multiplicand="key", tag="op")
+
+
+class TestStructure:
+    def test_levels_partition_the_nodes(self):
+        graph = diamond()
+        levels = graph.topological_levels()
+        assert levels == [[0], [1, 2], [3]]
+        assert graph.depth == 3
+        assert graph.width == 2
+        assert graph.parallelism == pytest.approx(4 / 3)
+
+    def test_roots_and_sinks(self):
+        graph = diamond()
+        assert graph.roots() == [0]
+        assert graph.sinks() == [3]
+
+    def test_dependents_inverts_deps(self):
+        graph = diamond()
+        assert graph.dependents() == [[1, 2], [3], [3], []]
+
+    def test_empty_graph(self):
+        graph = WorkloadGraph()
+        assert graph.depth == 0
+        assert graph.width == 0
+        assert graph.parallelism == 0.0
+        assert not graph.executable
+        assert list(graph.to_jobs()) == []
+
+    def test_executable_requires_all_operands(self):
+        graph = WorkloadGraph()
+        graph.add("a", a=1, b=2)
+        assert graph.executable
+        graph.add("b")  # structural node
+        assert not graph.executable
+
+
+class TestViews:
+    def test_to_jobs_preserves_insertion_order(self):
+        graph = diamond()
+        jobs = list(graph.to_jobs())
+        assert [job.multiplicand for job in jobs] == ["a", "b", "c", "d"]
+        assert all(isinstance(job, MultiplicationJob) for job in jobs)
+
+    def test_linearized_is_a_chain(self):
+        chain = diamond().linearized()
+        assert chain.depth == len(chain) == 4
+        assert chain.width == 1
+        for node in chain:
+            expected = (node.index - 1,) if node.index else ()
+            assert node.deps == expected
+
+    def test_linearized_preserves_payload(self):
+        graph = WorkloadGraph()
+        a = graph.add("a", a=3, b=5, tag="t", priority=1)
+        graph.add("b", a=Ref(a), b=7)
+        chain = graph.linearized()
+        assert chain.node(0).a == 3 and chain.node(0).tag == "t"
+        assert chain.node(1).a == Ref(a)
+        assert chain.executable
+
+    def test_as_dict_summary(self):
+        data = diamond().as_dict()
+        assert data["nodes"] == 4
+        assert data["edges"] == 4
+        assert data["depth"] == 3
+        assert data["width"] == 2
+        assert data["lut_groups"] == 4
+        assert data["executable"] is False
