@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="modsram-repro",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of 'ModSRAM: Algorithm-Hardware Co-Design for Large "
         "Number Modular Multiplication in SRAM' (DAC 2024): R4CSA-LUT in a "

@@ -93,9 +93,15 @@ bit-identical products.  :mod:`repro.service` serves those graphs online::
 
     asyncio.run(main())
 
-``repro serve --self-test`` drives the multi-tenant traffic mix,
-``repro submit`` sends one request from the shell, and the
-``serving-throughput`` experiment measures the layer.
+Serving scales past the GIL: ``Server(..., workers=N)`` (or ``repro
+serve --workers N``) shards batch execution across N engine-owning
+worker processes with stable modulus→shard hashing, per-shard warm
+context caches, and crash retry — bit-identical products, more cores
+(:mod:`repro.service.pool`).  ``repro serve --self-test`` drives the
+multi-tenant traffic mix, ``repro submit`` sends one request from the
+shell, and the ``serving-throughput`` experiment measures the layer.
+The ``docs/`` mkdocs site carries the full architecture guide, the
+serving/sharding how-to and generated CLI/API references.
 
 The cycle-accurate hardware model lives in :mod:`repro.modsram`; the
 per-exhibit reproduction modules live in :mod:`repro.analysis`.
@@ -125,7 +131,7 @@ from repro.engine import (
 )
 from repro.errors import ReproError
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BackendInfo",

@@ -34,6 +34,8 @@ class ServingThroughputResult:
     tenants: int
     requests_per_tenant: int
     pairs_per_request: int
+    #: Pool worker processes executing the batches (0 = inline).
+    workers: int
     completed_requests: int
     verified_requests: int
     rejected_requests: int
@@ -61,6 +63,9 @@ class ServingThroughputResult:
     def render(self) -> str:
         """Text table of the serving run."""
         rows = [
+            ("executor",
+             "inline (event loop)" if not self.workers
+             else f"pool, {self.workers} worker processes"),
             ("completed / verified requests",
              f"{self.completed_requests} / {self.verified_requests}"),
             ("rejected (admission)", self.rejected_requests),
@@ -94,6 +99,7 @@ class ServingThroughputResult:
             "tenants": self.tenants,
             "requests_per_tenant": self.requests_per_tenant,
             "pairs_per_request": self.pairs_per_request,
+            "workers": self.workers,
             "completed_requests": self.completed_requests,
             "verified_requests": self.verified_requests,
             "rejected_requests": self.rejected_requests,
@@ -121,6 +127,7 @@ class ServingThroughputResult:
             tenants=int(data["tenants"]),
             requests_per_tenant=int(data["requests_per_tenant"]),
             pairs_per_request=int(data["pairs_per_request"]),
+            workers=int(data.get("workers", 0)),
             completed_requests=int(data["completed_requests"]),
             verified_requests=int(data["verified_requests"]),
             rejected_requests=int(data["rejected_requests"]),
@@ -151,8 +158,15 @@ def reproduce_serving_throughput(
     max_batch: int = 64,
     batch_window_ms: float = 1.0,
     seed: int = 2024,
+    workers: int = 0,
 ) -> ServingThroughputResult:
-    """Run the self-test traffic mix and condense its metrics."""
+    """Run the self-test traffic mix and condense its metrics.
+
+    ``workers=N`` shards batch execution across N engine-owning worker
+    processes (the :class:`~repro.service.pool.PoolExecutor`); products
+    stay bit-identical to inline serving, so only the wall-clock figures
+    move.
+    """
     from repro.service.selftest import run_self_test
 
     summary = run_self_test(
@@ -166,6 +180,7 @@ def reproduce_serving_throughput(
         max_batch=int(max_batch),
         batch_window_ms=float(batch_window_ms),
         seed=int(seed),
+        workers=int(workers),
     )
     latency = summary["latency"]
     cache = summary["context_cache"]
@@ -174,6 +189,7 @@ def reproduce_serving_throughput(
         tenants=int(summary["tenants"]),
         requests_per_tenant=int(summary["requests_per_tenant"]),
         pairs_per_request=int(summary["pairs_per_request"]),
+        workers=int(summary["workers"]),
         completed_requests=int(summary["completed_requests"]),
         verified_requests=int(summary["verified_requests"]),
         rejected_requests=int(summary["rejected_requests"]),

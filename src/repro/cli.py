@@ -11,7 +11,7 @@ ModSRAM model and the Table 3 PIM baselines — is reachable from the shell::
     python -m repro.cli multiply A B [--modulus P] [--backend NAME] [--curve NAME] [--json]
     python -m repro.cli batch    [--count N] [--backend NAME] [--seed S] [--json]
     python -m repro.cli chip     [--workload W] [--macros 1,2,4] [--json]
-    python -m repro.cli serve    --self-test [--quick] [--json]   # async layer
+    python -m repro.cli serve    --self-test [--quick] [--workers N] [--json]
     python -m repro.cli submit   [--workload batch|product-tree] [--json]
     python -m repro.cli backends [--json]           # backend capability matrix
     python -m repro.cli cycles   [--bitwidth N]     # cycle model + comparison
@@ -315,6 +315,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="shrink the traffic for CI smoke"
     )
     serve.add_argument(
+        "--workers", type=int, default=0,
+        help="shard batch execution across N worker processes "
+             "(0 = inline on the event loop)",
+    )
+    serve.add_argument(
         "--json", action="store_true", help="emit the metrics summary as JSON"
     )
 
@@ -587,17 +592,28 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         traffic["tenants"] = arguments.tenants
     if arguments.requests is not None:
         traffic["requests"] = arguments.requests
+    if arguments.workers < 0:
+        print(f"--workers must be >= 0, got {arguments.workers}")
+        return 2
     summary = run_self_test(
         quick=arguments.quick,
         backend=arguments.backend,
         curve=arguments.curve,
+        workers=arguments.workers,
         **traffic,
     )
     if arguments.json:
         print(json.dumps(summary, indent=2))
         return 0
     latency = summary["latency"]
+    executor = summary["executor"]
     print(f"backend           : {summary['backend']}")
+    if executor["kind"] == "pool":
+        print(f"executor          : pool, {executor['workers']} workers "
+              f"({executor['jobs']} jobs, {executor['spilled_jobs']} spilled, "
+              f"{executor['worker_restarts']} restarts)")
+    else:
+        print("executor          : inline (event loop)")
     print(f"tenants           : {summary['tenants']} "
           f"x {summary['requests_per_tenant']} requests")
     print(f"verified requests : {summary['verified_requests']}"

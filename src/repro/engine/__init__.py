@@ -38,6 +38,7 @@ from repro.engine.cache import (
     reset_global_cache_stats,
 )
 from repro.engine.engine import BatchResult, Engine, EngineStats, MultiplyResult
+from repro.engine.spec import EngineSpec
 
 __all__ = [
     "Backend",
@@ -47,6 +48,7 @@ __all__ = [
     "ContextCache",
     "Engine",
     "EngineContext",
+    "EngineSpec",
     "EngineStats",
     "ModSRAMBackend",
     "ModSRAMChipBackend",

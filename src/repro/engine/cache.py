@@ -59,6 +59,28 @@ class CacheStats:
             "hit_rate": self.hit_rate,
         }
 
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        """A new stats object with both operands' counters summed.
+
+        The serving pool uses this to roll the per-worker context-cache
+        counters (each worker process owns a private cache) into one
+        cross-process view.
+        """
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "CacheStats":
+        """Rebuild counters from :meth:`as_dict` output (wire format)."""
+        return cls(
+            hits=int(data.get("hits", 0)),
+            misses=int(data.get("misses", 0)),
+            evictions=int(data.get("evictions", 0)),
+        )
+
     def snapshot(self) -> "CacheStats":
         """An independent copy (mutating it never touches the original)."""
         return CacheStats(

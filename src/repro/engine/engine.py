@@ -271,6 +271,34 @@ class Engine:
             merged = merged.merged_with(context.stats)
         return EngineStats(operations=merged, cache=self._cache.stats.snapshot())
 
+    def spec(self) -> "EngineSpec":
+        """This engine's configuration as a portable, pickle-safe recipe.
+
+        The serving pool ships the spec to worker processes, each of which
+        rebuilds an equivalent engine with :meth:`EngineSpec.build`.  Only
+        registry-resolvable backends can be specced: an engine wrapping an
+        unregistered :class:`Backend` *instance* has no portable name.
+        """
+        from repro.engine.backend import get_backend
+        from repro.engine.spec import EngineSpec
+
+        name = self.info.name
+        try:
+            registered = get_backend(name)
+        except ConfigurationError:
+            registered = None
+        if registered is not self._backend:
+            raise ConfigurationError(
+                f"engine backend {name!r} is an unregistered instance; "
+                "register it (register_backend) before deriving a spec"
+            )
+        return EngineSpec(
+            backend=name,
+            curve=None if self._curve_spec is None else self._curve_spec.name,
+            modulus=self._default_modulus,
+            cache_size=self._cache.max_entries,
+        )
+
     def describe(self) -> Dict[str, object]:
         """Engine configuration and state as a JSON-friendly dictionary."""
         return {

@@ -66,3 +66,7 @@ class AdmissionError(ServiceError):
 
 class DeadlineError(ServiceError):
     """A request's deadline expired before it could be dispatched."""
+
+
+class WorkerCrashError(ServiceError):
+    """A pool worker died and the job exhausted its cross-shard retries."""

@@ -269,6 +269,7 @@ register_experiment(
             "max_batch": 64,
             "batch_window_ms": 1.0,
             "seed": 2024,
+            "workers": 0,
         },
         quick_overrides={
             "tenants": 2,
@@ -276,7 +277,10 @@ register_experiment(
             "pairs_per_request": 4,
             "graph_leaves": 8,
         },
-        sweep_axes=("backend", "tenants", "requests", "max_batch", "batch_window_ms"),
+        sweep_axes=(
+            "backend", "tenants", "requests", "max_batch",
+            "batch_window_ms", "workers",
+        ),
         # Headline figures are wall-clock measurements of this machine:
         # serving a cached timing as freshly measured would mislead.
         cacheable=False,

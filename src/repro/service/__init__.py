@@ -19,15 +19,34 @@ and dispatches it through a shared context-cached
 
     asyncio.run(main())
 
-``repro serve --self-test`` drives the built-in multi-tenant traffic mix
-(:mod:`repro.service.selftest`), ``repro submit`` sends one request from
-the shell, and the ``serving-throughput`` experiment plus
-``benchmarks/bench_serve.py`` measure the layer end to end.
+Execution is pluggable (the :class:`Executor` seam): batches run inline
+on the event loop by default, or — ``Server(..., workers=N)`` /
+:class:`PoolExecutor` — sharded across N engine-owning OS processes with
+stable modulus→shard hashing, escaping the GIL (see
+:mod:`repro.service.pool` and the serving/sharding how-to in ``docs/``).
+
+``repro serve --self-test [--workers N]`` drives the built-in
+multi-tenant traffic mix (:mod:`repro.service.selftest`), ``repro
+submit`` sends one request from the shell, and the
+``serving-throughput`` experiment plus ``benchmarks/bench_serve.py``
+measure the layer end to end.
 """
 
-from repro.errors import AdmissionError, DeadlineError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    DeadlineError,
+    ServiceError,
+    WorkerCrashError,
+)
 from repro.service.client import Client
-from repro.service.metrics import LatencyStats, ServiceMetrics
+from repro.service.executor import Executor, InlineExecutor
+from repro.service.metrics import (
+    LatencyStats,
+    PoolMetrics,
+    ServiceMetrics,
+    ShardMetrics,
+)
+from repro.service.pool import PoolConfig, PoolExecutor, shard_for
 from repro.service.selftest import run_self_test, self_test
 from repro.service.server import Response, Server, ServerConfig
 
@@ -35,12 +54,20 @@ __all__ = [
     "AdmissionError",
     "Client",
     "DeadlineError",
+    "Executor",
+    "InlineExecutor",
     "LatencyStats",
+    "PoolConfig",
+    "PoolExecutor",
+    "PoolMetrics",
     "Response",
     "Server",
     "ServerConfig",
     "ServiceError",
     "ServiceMetrics",
+    "ShardMetrics",
+    "WorkerCrashError",
     "run_self_test",
     "self_test",
+    "shard_for",
 ]

@@ -34,10 +34,19 @@ async def self_test(
     max_batch: int = 64,
     batch_window_ms: float = 1.0,
     seed: int = 2024,
+    workers: int = 0,
 ) -> Dict[str, object]:
-    """Run the traffic mix and return the metrics payload (async form)."""
+    """Run the traffic mix and return the metrics payload (async form).
+
+    ``workers=0`` (the default) serves inline on the event loop;
+    ``workers=N`` shards batch execution across N worker processes
+    (:class:`~repro.service.pool.PoolExecutor`) — same products, verified
+    the same way, with the pool's per-shard rollup in the summary.
+    """
     config = ServerConfig(max_batch=max_batch, batch_window_ms=batch_window_ms)
-    async with Server(backend=backend, curve=curve, config=config) as server:
+    async with Server(
+        backend=backend, curve=curve, config=config, workers=workers or None
+    ) as server:
         modulus = server.engine.default_modulus
         assert modulus is not None
         verified = 0
@@ -83,6 +92,7 @@ async def self_test(
     summary["tenants"] = tenants
     summary["requests_per_tenant"] = requests
     summary["pairs_per_request"] = pairs_per_request
+    summary["workers"] = workers
     if failures:
         raise ServiceError(
             f"self-test verified {verified} requests but {failures} "

@@ -20,10 +20,13 @@
   completions and the engine's context-cache counters
   (:meth:`Server.metrics_summary`).
 
-The arithmetic itself runs inline on the event loop (the engines are pure
-python and the simulation is the product being served); the serving value
-is in the coalescing — many tiny requests become few hot, context-cached
-batch calls.
+*Where* a formed batch executes is pluggable (the :class:`Executor`
+seam): by default batches run inline on the event loop — zero overhead,
+one core — while ``workers=N`` (or an explicit
+:class:`~repro.service.pool.PoolExecutor`) shards them across N worker
+processes with per-shard warm context caches, escaping the GIL.  Either
+way the serving value starts with the coalescing — many tiny requests
+become few hot, context-cached batch calls.
 """
 
 from __future__ import annotations
@@ -31,7 +34,7 @@ from __future__ import annotations
 import asyncio
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.engine import Engine
 from repro.errors import (
@@ -41,8 +44,8 @@ from repro.errors import (
     OperandRangeError,
     ServiceError,
 )
+from repro.service.executor import Executor, InlineExecutor
 from repro.service.metrics import ServiceMetrics
-from repro.workloads.execute import execute_graph
 from repro.workloads.graph import WorkloadGraph
 
 __all__ = ["ServerConfig", "Response", "Server"]
@@ -97,6 +100,8 @@ class Response:
     #: Queue wait plus execution, as observed by the server.
     latency_ms: float
     queue_ms: float
+    #: Pool shard that executed the request (``None`` for inline execution).
+    shard: Optional[int] = None
 
     @property
     def value(self) -> int:
@@ -130,8 +135,13 @@ class Server:
             response = await server.multiply(3, 5)
             tree_response = await server.submit_graph(tree)
 
-    One dispatcher task owns the engine; submissions only enqueue, so any
-    number of client tasks can share a server.
+    One dispatcher task forms the batches; submissions only enqueue, so
+    any number of client tasks can share a server.  Execution is the
+    executor's business: the default :class:`InlineExecutor` runs batches
+    on the event loop exactly like the classic single-process server,
+    while ``workers=N`` shards them across N engine-owning OS processes
+    (:class:`~repro.service.pool.PoolExecutor`) — same products, more
+    cores.
     """
 
     def __init__(
@@ -141,10 +151,29 @@ class Server:
         curve: Optional[str] = None,
         modulus: Optional[int] = None,
         config: Optional[ServerConfig] = None,
+        executor: Optional[Executor] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.engine = engine or Engine(
             backend=backend, curve=curve, modulus=modulus
         )
+        if executor is not None and workers:
+            raise ConfigurationError(
+                "pass either executor= or workers=, not both"
+            )
+        if executor is not None:
+            self._executor = executor
+            self._owns_executor = False
+        elif workers:
+            from repro.service.pool import PoolExecutor
+
+            self._executor = PoolExecutor(
+                spec=self.engine.spec(), workers=workers
+            )
+            self._owns_executor = True
+        else:
+            self._executor = InlineExecutor(self.engine)
+            self._owns_executor = True
         self.config = config or ServerConfig()
         self.metrics = ServiceMetrics()
         self._tenants: "OrderedDict[str, Deque[_Job]]" = OrderedDict()
@@ -156,6 +185,10 @@ class Server:
         self._priority_pending: Dict[str, int] = {}
         self._wakeup: Optional[asyncio.Event] = None
         self._dispatcher: Optional[asyncio.Task] = None
+        self._inflight: Set[asyncio.Task] = set()
+        #: Requests handed to a non-inline executor and not yet resolved
+        #: (admission still counts them against ``max_pending``).
+        self._executing = 0
         self._stopping = False
 
     # ------------------------------------------------------------------ #
@@ -166,12 +199,18 @@ class Server:
         """Whether the dispatcher task is live."""
         return self._dispatcher is not None and not self._dispatcher.done()
 
+    @property
+    def executor(self) -> Executor:
+        """The execution seam batches run through (inline or pool)."""
+        return self._executor
+
     async def start(self) -> "Server":
-        """Start the dispatcher (idempotent)."""
+        """Start the executor and the dispatcher (idempotent)."""
         if self.running:
             return self
         self._stopping = False
         self._wakeup = asyncio.Event()
+        await self._executor.start()
         self.metrics.start()
         self._dispatcher = asyncio.get_running_loop().create_task(
             self._dispatch_loop()
@@ -199,7 +238,14 @@ class Server:
         self._wakeup.set()
         await self._dispatcher
         self._dispatcher = None
+        if not drain:
+            for task in list(self._inflight):
+                task.cancel()
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
         self.metrics.stop()
+        if self._owns_executor:
+            await self._executor.close()
 
     async def __aenter__(self) -> "Server":
         return await self.start()
@@ -303,7 +349,12 @@ class Server:
                         f"operands must satisfy 0 <= a, b < p, got "
                         f"a={a}, b={b}, p={modulus}"
                     )
-        if self._pending >= self.config.max_pending:
+        # The admission bound covers work buffered anywhere between here
+        # and completion: requests in the server's own queues plus
+        # requests inside batches already handed to the executor (a pool
+        # buffers jobs in worker queues; inline execution finishes before
+        # the next batch forms, keeping the second term at zero).
+        if self._pending + self._executing >= self.config.max_pending:
             self.metrics.rejected_requests += 1
             raise AdmissionError(
                 f"server queue full ({self.config.max_pending} pending)"
@@ -471,70 +522,118 @@ class Server:
 
         # One multiply_batch per modulus group (moduli were resolved at
         # admission, so None never splits a group); graphs run
-        # level-batched.
+        # level-batched.  Inline execution happens right here in the
+        # dispatcher (the classic single-process behaviour); a pool
+        # executor gets one task per group so the dispatcher keeps
+        # forming batches while shards work.
         groups: "OrderedDict[int, List[_Job]]" = OrderedDict()
+        graphs: List[_Job] = []
         for job in live:
             if job.kind == "pairs":
                 groups.setdefault(job.modulus, []).append(job)
-        for modulus, jobs in groups.items():
-            self._execute_pairs_group(jobs, modulus, now)
-
-        for job in live:
-            if job.kind != "graph":
-                continue
-            try:
-                execution = execute_graph(
-                    self.engine, job.payload, job.modulus  # type: ignore[arg-type]
+            else:
+                graphs.append(job)
+        if self._executor.inline:
+            for modulus, jobs in groups.items():
+                self._execute_pairs_group(jobs, modulus, now)
+            for job in graphs:
+                self._execute_graph_job(job, now)
+        else:
+            for modulus, jobs in groups.items():
+                self._spawn(
+                    self._execute_pairs_group_async(jobs, modulus, now),
+                    requests=len(jobs),
                 )
-            except Exception as error:
-                if not job.future.done():
-                    job.future.set_exception(error)
-                continue
-            self.metrics.record_batch(len(execution.values))
-            finished = loop.time()
-            self._resolve(
-                job,
-                Response(
-                    values=execution.results,
-                    kind="graph",
-                    backend=execution.backend,
-                    modulus=execution.modulus,
-                    tenant=job.tenant,
-                    batched_pairs=len(execution.values),
-                    modeled_cycles=execution.modeled_cycles,
-                    latency_ms=(finished - job.enqueued_at) * 1e3,
-                    queue_ms=(now - job.enqueued_at) * 1e3,
-                ),
-            )
+            for job in graphs:
+                self._spawn(self._execute_graph_job_async(job, now), requests=1)
 
+    def _spawn(self, coroutine, requests: int) -> None:
+        """Track one in-flight execution task (drained by :meth:`stop`).
+
+        ``requests`` keeps the admission bound honest while the batch is
+        buffered inside the executor: the count rejoins ``_pending`` in
+        spirit until every job in the group resolves.
+        """
+        self._executing += requests
+
+        async def runner():
+            try:
+                await coroutine
+            finally:
+                self._executing -= requests
+
+        task = asyncio.get_running_loop().create_task(runner())
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    @staticmethod
+    def _fail_jobs(jobs: List[_Job], error: Exception) -> None:
+        for job in jobs:
+            if not job.future.done():
+                job.future.set_exception(error)
+
+    # -- pairs ---------------------------------------------------------- #
     def _execute_pairs_group(
         self, jobs: List[_Job], modulus: int, now: float
     ) -> None:
-        """Run one modulus group as a single engine batch.
+        """Run one modulus group inline as a single engine batch.
 
         Operands were validated at admission, so a failure here is
         unexpected; if the coalesced call still fails, fall back to one
         call per request so a single poisoned job cannot fail the others.
         """
-        loop = asyncio.get_running_loop()
         flat: List[Tuple[int, int]] = []
         for job in jobs:
             flat.extend(job.payload)  # type: ignore[arg-type]
         try:
-            result = self.engine.multiply_batch(flat, modulus)
+            result = self._executor.execute_pairs_sync(flat, modulus)
         except Exception as error:
             if len(jobs) == 1:
-                if not jobs[0].future.done():
-                    jobs[0].future.set_exception(error)
+                self._fail_jobs(jobs, error)
                 return
             for job in jobs:
                 self._execute_pairs_group([job], modulus, now)
             return
-        self.metrics.record_batch(len(flat))
+        self._resolve_pairs_group(jobs, result, len(flat), now, shard=None)
+
+    async def _execute_pairs_group_async(
+        self, jobs: List[_Job], modulus: int, now: float
+    ) -> None:
+        """Pooled variant of :meth:`_execute_pairs_group` (same fallback)."""
+        flat: List[Tuple[int, int]] = []
+        for job in jobs:
+            flat.extend(job.payload)  # type: ignore[arg-type]
+        try:
+            result, shard = await self._executor.execute_pairs(flat, modulus)
+        except asyncio.CancelledError:
+            self._fail_jobs(
+                jobs, ServiceError("server stopped before execution finished")
+            )
+            raise
+        except Exception as error:
+            if len(jobs) == 1:
+                self._fail_jobs(jobs, error)
+                return
+            for job in jobs:
+                await self._execute_pairs_group_async([job], modulus, now)
+            return
+        self._resolve_pairs_group(jobs, result, len(flat), now, shard)
+
+    def _resolve_pairs_group(
+        self,
+        jobs: List[_Job],
+        result,
+        flat_count: int,
+        now: float,
+        shard: Optional[int],
+    ) -> None:
+        """Slice one batch result back into per-job responses."""
+        loop = asyncio.get_running_loop()
+        self.metrics.record_batch(flat_count)
         per_pair = (
             None
             if result.modeled_cycles is None
-            else result.modeled_cycles // max(len(flat), 1)
+            else result.modeled_cycles // max(flat_count, 1)
         )
         offset = 0
         finished = loop.time()
@@ -549,14 +648,65 @@ class Server:
                     backend=result.backend,
                     modulus=result.modulus,
                     tenant=job.tenant,
-                    batched_pairs=len(flat),
+                    batched_pairs=flat_count,
                     modeled_cycles=(
                         None if per_pair is None else per_pair * job.pairs
                     ),
                     latency_ms=(finished - job.enqueued_at) * 1e3,
                     queue_ms=(now - job.enqueued_at) * 1e3,
+                    shard=shard,
                 ),
             )
+
+    # -- graphs --------------------------------------------------------- #
+    def _execute_graph_job(self, job: _Job, now: float) -> None:
+        """Run one operand-carrying graph inline (level-batched)."""
+        try:
+            execution = self._executor.execute_graph_sync(
+                job.payload, job.modulus  # type: ignore[arg-type]
+            )
+        except Exception as error:
+            self._fail_jobs([job], error)
+            return
+        self._resolve_graph_job(job, execution, now, shard=None)
+
+    async def _execute_graph_job_async(self, job: _Job, now: float) -> None:
+        """Pooled variant of :meth:`_execute_graph_job`."""
+        try:
+            execution, shard = await self._executor.execute_graph(
+                job.payload, job.modulus  # type: ignore[arg-type]
+            )
+        except asyncio.CancelledError:
+            self._fail_jobs(
+                [job], ServiceError("server stopped before execution finished")
+            )
+            raise
+        except Exception as error:
+            self._fail_jobs([job], error)
+            return
+        self._resolve_graph_job(job, execution, now, shard)
+
+    def _resolve_graph_job(
+        self, job: _Job, execution, now: float, shard: Optional[int]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        self.metrics.record_batch(len(execution.values))
+        finished = loop.time()
+        self._resolve(
+            job,
+            Response(
+                values=execution.results,
+                kind="graph",
+                backend=execution.backend,
+                modulus=execution.modulus,
+                tenant=job.tenant,
+                batched_pairs=len(execution.values),
+                modeled_cycles=execution.modeled_cycles,
+                latency_ms=(finished - job.enqueued_at) * 1e3,
+                queue_ms=(now - job.enqueued_at) * 1e3,
+                shard=shard,
+            ),
+        )
 
     def _resolve(self, job: _Job, response: Response) -> None:
         self.metrics.record_completion(
@@ -577,12 +727,18 @@ class Server:
         return self._pending
 
     def metrics_summary(self) -> Dict[str, object]:
-        """Service metrics plus the engine's operation/cache counters."""
-        stats = self.engine.stats()
+        """Service metrics plus the executor's operation/cache counters.
+
+        ``context_cache`` and ``engine_multiplications`` cover every
+        engine the executor drives — the server's own engine inline, or
+        the merged counters of all worker processes under a pool.
+        """
         return {
             **self.metrics.summary(),
             "pending": self._pending,
+            "executing": self._executing,
             "backend": self.engine.info.name,
-            "engine_multiplications": stats.multiplications,
-            "context_cache": stats.cache.as_dict(),
+            "engine_multiplications": self._executor.engine_multiplications(),
+            "context_cache": self._executor.cache_stats().as_dict(),
+            "executor": self._executor.describe(),
         }

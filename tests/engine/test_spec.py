@@ -1,0 +1,67 @@
+"""Tests for EngineSpec: the portable engine re-construction recipe."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.engine import Engine, EngineSpec, MultiplierBackend
+from repro.errors import ConfigurationError
+
+
+class TestEngineSpec:
+    def test_build_reconstructs_an_equivalent_engine(self):
+        spec = EngineSpec(backend="montgomery", curve="bn254", cache_size=8)
+        engine = spec.build()
+        assert engine.info.name == "montgomery"
+        assert engine.default_modulus is not None
+        twin = spec.build()
+        assert int(engine.multiply(12345, 67890)) == int(
+            twin.multiply(12345, 67890)
+        )
+        # Independent runtime state: warming one leaves the other cold.
+        assert twin.cache_size == 1 and engine.cache_size == 1
+        assert engine.context() is not twin.context()
+
+    def test_round_trips_through_dict_and_pickle(self):
+        spec = EngineSpec(
+            backend="r4csa-lut", curve=None, modulus=997, cache_size=4
+        )
+        assert EngineSpec.from_dict(spec.as_dict()) == spec
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert EngineSpec.from_dict(
+            {"backend": "schoolbook"}
+        ) == EngineSpec(backend="schoolbook")
+
+    def test_validate_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            EngineSpec(backend="not-a-backend").validate()
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ConfigurationError):
+            EngineSpec(backend="")
+        with pytest.raises(ConfigurationError):
+            EngineSpec(backend="montgomery", cache_size=0)
+
+
+class TestEngineSpecDerivation:
+    def test_engine_spec_round_trip(self):
+        engine = Engine(backend="barrett", curve="p256", cache_size=16)
+        spec = engine.spec()
+        assert spec == EngineSpec(
+            backend="barrett",
+            curve="p256",
+            modulus=engine.default_modulus,
+            cache_size=16,
+        )
+        assert spec.build().default_modulus == engine.default_modulus
+
+    def test_explicit_modulus_survives(self):
+        engine = Engine(backend="montgomery", modulus=65521)
+        assert engine.spec().modulus == 65521
+
+    def test_unregistered_backend_instance_has_no_spec(self):
+        engine = Engine(backend=MultiplierBackend("montgomery"))
+        with pytest.raises(ConfigurationError, match="unregistered instance"):
+            engine.spec()

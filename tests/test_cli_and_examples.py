@@ -23,6 +23,7 @@ ALL_EXAMPLES = (
     "dataflow_walkthrough.py",
     "ecdsa_signing.py",
     "serving_quickstart.py",
+    "sharded_serving.py",
 )
 #: Examples cheap enough to execute end-to-end inside the unit-test suite.
 FAST_EXAMPLES = (
@@ -31,6 +32,7 @@ FAST_EXAMPLES = (
     "dataflow_walkthrough.py",
     "ecdsa_signing.py",
     "serving_quickstart.py",
+    "sharded_serving.py",
 )
 
 
