@@ -6,11 +6,30 @@ environments whose setuptools predates PEP 660 editable-wheel support
 no runtime dependencies.
 """
 
+import re
+
 from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """The single source of truth is ``repro.__version__``.
+
+    Parsed textually (not imported) so ``setup.py`` works before the
+    package's dependencies — none today, but that is incidental — are
+    importable in the build environment.
+    """
+    with open("src/repro/__init__.py", encoding="utf-8") as handle:
+        match = re.search(
+            r'^__version__ = "([^"]+)"', handle.read(), re.MULTILINE
+        )
+    if match is None:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
 
 setup(
     name="modsram-repro",
-    version="1.5.0",
+    version=read_version(),
     description=(
         "Reproduction of 'ModSRAM: Algorithm-Hardware Co-Design for Large "
         "Number Modular Multiplication in SRAM' (DAC 2024): R4CSA-LUT in a "

@@ -13,6 +13,9 @@ ModSRAM model and the Table 3 PIM baselines — is reachable from the shell::
     python -m repro.cli chip     [--workload W] [--macros 1,2,4] [--json]
     python -m repro.cli serve    --self-test [--quick] [--workers N] [--json]
     python -m repro.cli submit   [--workload batch|product-tree] [--json]
+    python -m repro.cli cluster router   [--port P] [--replication R]
+    python -m repro.cli cluster worker   --port P [--name N] [--pool-workers W]
+    python -m repro.cli cluster loadtest [--workers N] [--kill-worker] [--json]
     python -m repro.cli backends [--json]           # backend capability matrix
     python -m repro.cli cycles   [--bitwidth N]     # cycle model + comparison
     python -m repro.cli area     [--rows R] [--bitwidth N] [--technology NM]
@@ -106,9 +109,17 @@ def _add_cache_options(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ModSRAM (DAC 2024) reproduction command-line interface.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the package version and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -358,6 +369,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "--json", action="store_true", help="emit the response as JSON"
+    )
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="the multi-node serving fleet: router, worker nodes, load tests",
+    )
+    cluster_commands = cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+
+    cluster_router = cluster_commands.add_parser(
+        "router",
+        help="run a cluster router (placement, replication, SLOs) until "
+             "interrupted",
+    )
+    cluster_router.add_argument(
+        "--host", default="127.0.0.1", help="listen address"
+    )
+    cluster_router.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = ephemeral; the bound port is printed)",
+    )
+    cluster_router.add_argument(
+        "--backend", default="r4csa-lut",
+        help="engine backend every joining worker builds",
+    )
+    cluster_router.add_argument(
+        "--curve",
+        choices=sorted(CURVE_SPECS),
+        default=None,
+        help="default curve of the fleet's engine spec",
+    )
+    cluster_router.add_argument(
+        "--modulus", type=_parse_int, default=None,
+        help="default modulus of the fleet's engine spec",
+    )
+    cluster_router.add_argument(
+        "--replication", type=int, default=2,
+        help="ring owners a modulus may be placed on (hot-modulus spread)",
+    )
+    cluster_router.add_argument(
+        "--rate-per-tenant", type=float, default=None,
+        help="token-bucket rate per tenant in pairs/second (default: unlimited)",
+    )
+
+    cluster_worker = cluster_commands.add_parser(
+        "worker",
+        help="run one worker node against a router until released",
+    )
+    cluster_worker.add_argument(
+        "--host", default="127.0.0.1", help="router address"
+    )
+    cluster_worker.add_argument(
+        "--port", type=int, required=True, help="router port"
+    )
+    cluster_worker.add_argument(
+        "--name", default=None, help="node name (default: worker-<pid>)"
+    )
+    cluster_worker.add_argument(
+        "--pool-workers", type=int, default=0,
+        help="process-pool shards under this node's server (0 = inline)",
+    )
+
+    cluster_loadtest = cluster_commands.add_parser(
+        "loadtest",
+        help="spin up a local fleet, replay a seeded multi-tenant trace, "
+             "verify every product",
+    )
+    cluster_loadtest.add_argument(
+        "--workers", type=int, default=2, help="worker node processes"
+    )
+    cluster_loadtest.add_argument(
+        "--duration", type=float, default=2.0,
+        help="trace duration in seconds",
+    )
+    cluster_loadtest.add_argument(
+        "--rate", type=float, default=30.0,
+        help="mean request rate per tenant (requests/second)",
+    )
+    cluster_loadtest.add_argument(
+        "--seed", type=int, default=2024, help="trace seed"
+    )
+    cluster_loadtest.add_argument(
+        "--kill-worker", dest="kill_worker", action="store_true",
+        help="SIGKILL one worker halfway through (recovery must lose nothing)",
+    )
+    cluster_loadtest.add_argument(
+        "--quick", action="store_true", help="shrink the trace for CI smoke"
+    )
+    cluster_loadtest.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
     )
 
     backends = subparsers.add_parser(
@@ -706,6 +808,117 @@ def _command_submit(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cluster(arguments: argparse.Namespace) -> int:
+    handlers = {
+        "router": _command_cluster_router,
+        "worker": _command_cluster_worker,
+        "loadtest": _command_cluster_loadtest,
+    }
+    return handlers[arguments.cluster_command](arguments)
+
+
+def _command_cluster_router(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import Router, RouterConfig
+    from repro.engine import EngineSpec
+
+    if arguments.backend not in available_backends():
+        print(f"unknown backend {arguments.backend!r}; available: "
+              f"{', '.join(available_backends())}")
+        return 2
+    spec = EngineSpec(
+        backend=arguments.backend,
+        curve=arguments.curve,
+        modulus=arguments.modulus,
+    )
+    config = RouterConfig(
+        host=arguments.host,
+        port=arguments.port,
+        replication=arguments.replication,
+        rate_per_tenant=arguments.rate_per_tenant,
+    )
+
+    async def run():
+        async with Router(spec, config=config) as router:
+            print(f"router listening on {config.host}:{router.port} "
+                  f"(backend {spec.backend}, replication "
+                  f"{config.replication})", flush=True)
+            try:
+                while True:
+                    await asyncio.sleep(3600)
+            except asyncio.CancelledError:  # pragma: no cover - signal path
+                pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("router stopped")
+    return 0
+
+
+def _command_cluster_worker(arguments: argparse.Namespace) -> int:
+    from repro.cluster import run_worker
+
+    if arguments.pool_workers < 0:
+        print(f"--pool-workers must be >= 0, got {arguments.pool_workers}")
+        return 2
+    try:
+        run_worker(
+            arguments.host,
+            arguments.port,
+            name=arguments.name,
+            pool_workers=arguments.pool_workers,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _command_cluster_loadtest(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import run_loadtest
+
+    if arguments.workers < 1:
+        print(f"--workers must be >= 1, got {arguments.workers}")
+        return 2
+    report = asyncio.run(
+        run_loadtest(
+            workers=arguments.workers,
+            duration_s=arguments.duration,
+            rate=arguments.rate,
+            seed=arguments.seed,
+            kill_worker=arguments.kill_worker,
+            quick=arguments.quick,
+        )
+    )
+    healthy = report["lost"] == 0 and report["mismatches"] == 0
+    if arguments.json:
+        print(json.dumps(report, indent=2))
+        return 0 if healthy else 1
+    cluster = report["cluster"]
+    latency = report["latency"]
+    print(f"fleet             : {report['workers']} workers"
+          + (f" (killed pid {report['killed_pid']} mid-run)"
+             if report["kill_worker"] else ""))
+    print(f"trace             : {report['events']} requests, "
+          f"{len(report['tenants'])} tenants, seed {report['seed']}, "
+          f"{report['duration_s']:.1f} s")
+    print(f"sent / completed  : {report['sent']} / {report['completed']} "
+          f"(rejected {report['rejected']}, deadline misses "
+          f"{report['deadline_misses']}, failed {report['failed']})")
+    print(f"lost / mismatches : {report['lost']} / {report['mismatches']}")
+    print(f"latency           : p50 {latency['p50_ms']:.2f} ms, "
+          f"p95 {latency['p95_ms']:.2f} ms, p99 {latency['p99_ms']:.2f} ms")
+    print(f"placement         : {cluster['redispatches']} re-dispatches, "
+          f"{cluster['lost_nodes']} lost nodes, "
+          f"{cluster['live_nodes']} nodes live at end")
+    print("verdict           : " + ("PASS (nothing lost, every product "
+          "bit-identical)" if healthy else "FAIL"))
+    return 0 if healthy else 1
+
+
 def _command_backends(arguments: argparse.Namespace) -> int:
     infos = [get_backend(name).info for name in available_backends()]
     if arguments.json:
@@ -801,6 +1014,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chip": _command_chip,
         "serve": _command_serve,
         "submit": _command_submit,
+        "cluster": _command_cluster,
         "backends": _command_backends,
         "cycles": _command_cycles,
         "area": _command_area,

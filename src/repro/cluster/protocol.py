@@ -1,0 +1,199 @@
+"""The cluster wire protocol: length-prefixed JSON frames.
+
+Every message between a :class:`~repro.cluster.router.Router`, its
+:class:`~repro.cluster.worker.WorkerNode` s and its
+:class:`~repro.cluster.client.ClusterClient` s is one *frame*: a 4-byte
+big-endian payload length followed by that many bytes of UTF-8 JSON
+carrying a single object with a ``"type"`` key.  JSON (not pickle) is
+deliberate: a router port is a network surface, and JSON deserialization
+cannot execute code.  Python's JSON integers are arbitrary-precision, so
+operands, products and moduli travel exactly — the wire never rounds.
+
+Robustness is part of the contract (and of the test suite): a malformed
+frame — oversized, not valid JSON, not an object, missing ``"type"`` —
+raises :class:`~repro.errors.ProtocolError` *after the stream has been
+resynchronized* (the offending payload is consumed), so the receiving
+side can answer with a structured ``{"type": "error"}`` response and
+keep serving the connection instead of dropping it.
+
+The message vocabulary (all types in :data:`MESSAGE_TYPES`):
+
+========== ============ ====================================================
+type       direction    meaning
+========== ============ ====================================================
+hello      client→router introduce a client connection
+join       worker→router register a worker node
+welcome    router→both  accept; carries the fleet's ``EngineSpec`` for
+                        workers so every node builds an identical engine
+heartbeat  worker→router liveness + the node's metrics snapshot
+job        router→worker one placed job (pairs or graph) with SLO context
+result     both         a completed job's products and timings
+error      both         a structured failure (name + message + retryable)
+submit     client→router one request (pairs or an operand-carrying graph)
+stats      client→router ask for the cluster metrics rollup
+leave      worker→router graceful drain request
+bye        router→worker drain complete; the worker may exit
+shutdown   router→worker the router is closing
+========== ============ ====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "MESSAGE_TYPES",
+    "Connection",
+    "decode_frame",
+    "encode_frame",
+]
+
+#: Frames above this are rejected (consumed and answered with an error):
+#: large enough for ~100k-pair batches of 256-bit operands, small enough
+#: that a hostile length prefix cannot balloon router memory.
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Length prefix size (unsigned big-endian).
+_PREFIX_BYTES = 4
+
+#: Every message type either side may legitimately send.
+MESSAGE_TYPES = frozenset(
+    {
+        "hello",
+        "join",
+        "welcome",
+        "heartbeat",
+        "job",
+        "result",
+        "error",
+        "submit",
+        "stats",
+        "leave",
+        "bye",
+        "shutdown",
+    }
+)
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """One message as its on-the-wire bytes (prefix + JSON payload)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > 0xFFFFFFFF:  # pragma: no cover - 4 GiB frame
+        raise ProtocolError(f"frame of {len(payload)} bytes cannot be prefixed")
+    return len(payload).to_bytes(_PREFIX_BYTES, "big") + payload
+
+
+def decode_frame(payload: bytes) -> Dict[str, object]:
+    """Parse one frame payload; :class:`ProtocolError` when malformed.
+
+    Three failure modes, each with its own message so the structured
+    error response tells the sender what to fix: not JSON at all, JSON
+    but not an object, an object without a known ``"type"``.
+    """
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    kind = message.get("type")
+    if kind not in MESSAGE_TYPES:
+        raise ProtocolError(
+            f"unknown message type {kind!r}; expected one of "
+            f"{sorted(MESSAGE_TYPES)}"
+        )
+    return message
+
+
+class Connection:
+    """One framed, message-oriented connection over asyncio streams.
+
+    Wraps a ``(StreamReader, StreamWriter)`` pair with frame encoding, a
+    send lock (any number of tasks may :meth:`send` concurrently) and
+    the resynchronizing receive path: when a frame is malformed,
+    :meth:`receive` consumes exactly that frame's bytes before raising,
+    so the caller can answer with an error frame and call
+    :meth:`receive` again.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.max_frame_bytes = max_frame_bytes
+        self._send_lock = asyncio.Lock()
+
+    @property
+    def peer(self) -> str:
+        """The remote address, for log lines and metrics labels."""
+        info = self.writer.get_extra_info("peername")
+        if isinstance(info, (tuple, list)) and len(info) >= 2:
+            return f"{info[0]}:{info[1]}"
+        return str(info)
+
+    async def send(self, message: Dict[str, object]) -> None:
+        """Write one frame (serialized under the connection's lock)."""
+        frame = encode_frame(message)
+        async with self._send_lock:
+            self.writer.write(frame)
+            await self.writer.drain()
+
+    async def receive(self) -> Optional[Dict[str, object]]:
+        """Read one message; ``None`` on clean EOF.
+
+        An oversized frame is *skipped* — its payload is read and
+        discarded in bounded chunks so the stream stays aligned on the
+        next frame boundary — then reported as :class:`ProtocolError`.
+        A truncated frame (EOF mid-payload) is a closed connection, not
+        a protocol error: the peer died, there is nobody to answer.
+        """
+        try:
+            prefix = await self.reader.readexactly(_PREFIX_BYTES)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        length = int.from_bytes(prefix, "big")
+        if length > self.max_frame_bytes:
+            await self._discard(length)
+            raise ProtocolError(
+                f"frame of {length} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte limit"
+            )
+        try:
+            payload = await self.reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        return decode_frame(payload)
+
+    async def _discard(self, length: int) -> None:
+        """Consume an oversized payload without buffering it whole."""
+        remaining = length
+        while remaining > 0:
+            try:
+                chunk = await self.reader.read(min(remaining, 1 << 16))
+            except ConnectionError:  # pragma: no cover - peer died mid-skip
+                return
+            if not chunk:
+                return
+            remaining -= len(chunk)
+
+    async def close(self) -> None:
+        """Close the underlying transport (idempotent, best-effort)."""
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - already dead
+            pass
+
+    def __repr__(self) -> str:
+        return f"Connection(peer={self.peer!r})"

@@ -1,0 +1,144 @@
+"""Per-tenant token-bucket rate limiting at the router's front door.
+
+The worker servers already have admission control (pending caps that
+reject with :class:`~repro.errors.AdmissionError`), but those caps bound
+*buffered* work.  A fleet also needs to bound *offered* work per tenant,
+before placement: one tenant replaying a burst trace must not consume
+every node's queue budget and starve the rest of the fleet.
+
+The classic token bucket does that: each tenant's bucket refills at
+``rate`` tokens per second up to ``burst`` tokens, and a request costs
+as many tokens as it carries operand pairs (graph requests: nodes), so
+the limit is on arithmetic offered, not on request count — a tenant
+cannot dodge it by packing bigger batches.  An empty bucket rejects the
+request immediately with a structured ``AdmissionError`` response; the
+client sees backpressure in microseconds instead of a deadline miss
+seconds later.
+
+Time is injected (``clock``) so tests drive the refill deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TokenBucket", "TenantRateLimiter"]
+
+
+class TokenBucket:
+    """One tenant's bucket: ``rate`` tokens/s refill, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ConfigurationError(
+                f"rate and burst must be positive, got rate={rate}, "
+                f"burst={burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(now - self._refilled_at, 0.0)
+        self._refilled_at = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; False means *rejected now*.
+
+        A request larger than the burst capacity can never pass; it is
+        rejected rather than waited on (the bucket is a limiter, not a
+        queue — queueing is the worker server's job).
+        """
+        self._refill()
+        if tokens > self._tokens:
+            return False
+        self._tokens -= tokens
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBucket(rate={self.rate}, burst={self.burst}, "
+            f"tokens={self.tokens:.1f})"
+        )
+
+
+class TenantRateLimiter:
+    """Lazily-created per-tenant buckets with one shared policy.
+
+    ``rate_per_tenant=None`` disables limiting entirely (every check
+    passes), which is the router default — the limiter is opt-in policy,
+    not a hidden throttle.
+    """
+
+    def __init__(
+        self,
+        rate_per_tenant: Optional[float] = None,
+        burst_per_tenant: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_tenant is not None and rate_per_tenant <= 0:
+            raise ConfigurationError(
+                f"rate_per_tenant must be positive, got {rate_per_tenant}"
+            )
+        self.rate_per_tenant = rate_per_tenant
+        self.burst_per_tenant = (
+            burst_per_tenant
+            if burst_per_tenant is not None
+            else (rate_per_tenant * 2 if rate_per_tenant else None)
+        )
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any limiting happens at all."""
+        return self.rate_per_tenant is not None
+
+    def allow(self, tenant: str, weight: float = 1.0) -> bool:
+        """Charge one request of ``weight`` pairs against its tenant."""
+        if self.rate_per_tenant is None:
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            assert self.burst_per_tenant is not None
+            bucket = TokenBucket(
+                self.rate_per_tenant, self.burst_per_tenant, clock=self._clock
+            )
+            self._buckets[tenant] = bucket
+        return bucket.try_acquire(weight)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly policy + live bucket levels."""
+        return {
+            "enabled": self.enabled,
+            "rate_per_tenant": self.rate_per_tenant,
+            "burst_per_tenant": self.burst_per_tenant,
+            "tenants": {
+                tenant: round(bucket.tokens, 3)
+                for tenant, bucket in sorted(self._buckets.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantRateLimiter(rate={self.rate_per_tenant}, "
+            f"burst={self.burst_per_tenant}, tenants={len(self._buckets)})"
+        )

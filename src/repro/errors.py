@@ -69,4 +69,15 @@ class DeadlineError(ServiceError):
 
 
 class WorkerCrashError(ServiceError):
-    """A pool worker died and the job exhausted its cross-shard retries."""
+    """A pool worker died and the job exhausted its cross-shard retries.
+
+    The cluster router raises the same error when a *node* is lost and a
+    job exhausts its cross-node re-dispatches: the pool's crash-retry
+    contract, generalized over the wire."""
+
+
+class ProtocolError(ServiceError):
+    """A cluster wire frame is malformed, oversized or of unknown type.
+
+    The router answers such frames with a structured error response (the
+    connection stays usable); the raising side carries the reason."""

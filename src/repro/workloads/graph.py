@@ -268,6 +268,61 @@ class WorkloadGraph:
             "lut_groups": len({node.multiplicand for node in self._nodes}),
         }
 
+    def to_payload(self) -> Dict[str, object]:
+        """Full, JSON-safe serialization (the cluster wire format).
+
+        Unlike :meth:`as_dict` (a structural *summary*), the payload
+        carries every node — operands included, with :class:`Ref` s
+        encoded as ``{"ref": index}`` — so :meth:`from_payload`
+        reconstructs an arithmetically identical graph on another host.
+        """
+        def encode(operand: Optional[Operand]) -> object:
+            if isinstance(operand, Ref):
+                return {"ref": operand.node}
+            return operand
+
+        return {
+            "name": self.name,
+            "nodes": [
+                {
+                    "multiplicand": node.multiplicand,
+                    "deps": list(node.deps),
+                    "tag": node.tag,
+                    "field_name": node.field_name,
+                    "priority": node.priority,
+                    "a": encode(node.a),
+                    "b": encode(node.b),
+                }
+                for node in self._nodes
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "WorkloadGraph":
+        """Rebuild a graph from :meth:`to_payload` output.
+
+        Round-trips exactly: node order, dependencies, operands and
+        LUT-reuse metadata all survive, so a graph executed on a remote
+        cluster node yields bit-identical products to local execution.
+        """
+        def decode(value: object) -> Optional[Operand]:
+            if isinstance(value, dict):
+                return Ref(int(value["ref"]))
+            return None if value is None else int(value)
+
+        graph = cls(name=str(payload.get("name", "workload")))
+        for node in payload["nodes"]:  # type: ignore[index]
+            graph.add(
+                multiplicand=str(node["multiplicand"]),
+                deps=tuple(int(dep) for dep in node.get("deps", ())),
+                tag=str(node.get("tag", "")),
+                field_name=str(node.get("field_name", "")),
+                priority=int(node.get("priority", 0)),
+                a=decode(node.get("a")),
+                b=decode(node.get("b")),
+            )
+        return graph
+
     def __repr__(self) -> str:
         return (
             f"WorkloadGraph(name={self.name!r}, nodes={len(self._nodes)}, "

@@ -1,0 +1,208 @@
+"""Wire-protocol robustness: framing, malformed frames, resync.
+
+The contract under test (an ISSUE satellite): a malformed, oversized or
+unknown-type frame is answered with a *structured error response* and
+the connection stays usable — no dropped state, no desynchronized
+stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cluster import Connection, Router, decode_frame, encode_frame
+from repro.cluster.protocol import MESSAGE_TYPES, _PREFIX_BYTES
+from repro.cluster.router import RouterConfig
+from repro.engine import EngineSpec
+from repro.errors import ProtocolError
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"type": "submit", "id": 7, "pairs": [[1, 2]], "modulus": 97}
+        assert decode_frame(encode_frame(message)[_PREFIX_BYTES:]) == message
+
+    def test_big_integers_travel_exactly(self):
+        operand = (1 << 255) - 19
+        frame = encode_frame({"type": "result", "values": [operand]})
+        assert decode_frame(frame[_PREFIX_BYTES:])["values"] == [operand]
+
+    def test_prefix_is_payload_length(self):
+        frame = encode_frame({"type": "bye"})
+        length = int.from_bytes(frame[:_PREFIX_BYTES], "big")
+        assert length == len(frame) - _PREFIX_BYTES
+
+    def test_not_json_raises(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame(b"\xff\xfe garbage")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError, match="must be a JSON object"):
+            decode_frame(json.dumps([1, 2, 3]).encode())
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_frame(json.dumps({"type": "exploit"}).encode())
+
+    def test_missing_type_raises(self):
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_frame(json.dumps({"id": 1}).encode())
+
+    def test_every_protocol_type_decodes(self):
+        for kind in MESSAGE_TYPES:
+            assert decode_frame(
+                json.dumps({"type": kind}).encode()
+            )["type"] == kind
+
+
+class TestConnection:
+    def test_send_receive_and_clean_eof(self):
+        async def scenario():
+            received = []
+            done = asyncio.Event()
+
+            async def handler(reader, writer):
+                connection = Connection(reader, writer)
+                while True:
+                    message = await connection.receive()
+                    if message is None:
+                        break
+                    received.append(message)
+                await connection.close()
+                done.set()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            connection = Connection(reader, writer)
+            await connection.send({"type": "hello", "tenant": "t"})
+            await connection.send({"type": "stats", "id": 1})
+            await connection.close()
+            await asyncio.wait_for(done.wait(), 5)
+            server.close()
+            await server.wait_closed()
+            return received
+
+        received = run(scenario())
+        assert [m["type"] for m in received] == ["hello", "stats"]
+
+    def test_oversized_frame_is_skipped_then_raises(self):
+        async def scenario():
+            results = []
+
+            async def handler(reader, writer):
+                connection = Connection(reader, writer, max_frame_bytes=64)
+                while True:
+                    try:
+                        message = await connection.receive()
+                    except ProtocolError as error:
+                        results.append(("error", str(error)))
+                        continue
+                    if message is None:
+                        break
+                    results.append(("ok", message["type"]))
+                await connection.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            sender = Connection(reader, writer)
+            # Frame 1: far over the 64-byte cap.  Frame 2: fine.  The
+            # receiver must skip frame 1's payload and still parse 2.
+            await sender.send({"type": "heartbeat", "blob": "x" * 4096})
+            await sender.send({"type": "bye"})
+            await sender.close()
+            await asyncio.sleep(0.2)
+            server.close()
+            await server.wait_closed()
+            return results
+
+        results = run(scenario())
+        assert results[0][0] == "error" and "exceeds" in results[0][1]
+        assert results[1] == ("ok", "bye")
+
+
+class TestRouterAnswersBadFrames:
+    """Bad frames at the router's front door get structured answers."""
+
+    def test_malformed_then_valid_hello_on_same_connection(self):
+        async def scenario():
+            async with Router(EngineSpec()) as router:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", router.port
+                )
+                # Raw garbage, properly length-prefixed.
+                payload = b"this is not json"
+                writer.write(len(payload).to_bytes(4, "big") + payload)
+                await writer.drain()
+                connection = Connection(reader, writer)
+                answer = await connection.receive()
+                assert answer["type"] == "error"
+                assert answer["error"] == "ProtocolError"
+                assert "JSON" in answer["message"]
+                # Same connection, now behaving: the handshake works.
+                await connection.send({"type": "hello"})
+                welcome = await connection.receive()
+                assert welcome["type"] == "welcome"
+                await connection.close()
+                return router.metrics.protocol_errors
+
+        assert run(scenario()) == 1
+
+    def test_unknown_type_and_wrong_opening_are_answered(self):
+        async def scenario():
+            async with Router(EngineSpec()) as router:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", router.port
+                )
+                connection = Connection(reader, writer)
+                payload = json.dumps({"type": "exploit"}).encode()
+                writer.write(len(payload).to_bytes(4, "big") + payload)
+                await writer.drain()
+                first = await connection.receive()
+                # 'result' is a known type but not a legal opener.
+                await connection.send({"type": "result", "id": 9})
+                second = await connection.receive()
+                await connection.close()
+                return first, second, router.metrics.protocol_errors
+
+        first, second, count = run(scenario())
+        assert first["error"] == "ProtocolError"
+        assert second["error"] == "ProtocolError"
+        assert "hello" in second["message"]
+        assert count == 2
+
+    def test_oversized_submit_is_answered_not_fatal(self):
+        async def scenario():
+            config = RouterConfig(max_frame_bytes=512)
+            async with Router(EngineSpec(), config=config) as router:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", router.port
+                )
+                connection = Connection(reader, writer)
+                await connection.send({"type": "hello"})
+                welcome = await connection.receive()
+                assert welcome["type"] == "welcome"
+                # An oversized frame on an established client session.
+                await connection.send(
+                    {"type": "submit", "id": 3, "junk": "y" * 2048}
+                )
+                answer = await connection.receive()
+                # The session survives: stats still answered.
+                await connection.send({"type": "stats", "id": 4})
+                stats = await connection.receive()
+                await connection.close()
+                return answer, stats
+
+        answer, stats = run(scenario())
+        assert answer["type"] == "error"
+        assert answer["error"] == "ProtocolError"
+        assert stats["type"] == "result"
+        assert stats["stats"]["protocol_errors"] == 1

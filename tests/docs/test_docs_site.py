@@ -9,8 +9,9 @@ not just the docs job:
 * every ``mkdocs.yml`` nav entry resolves to a real page, and the
   reference pages are reachable from the nav;
 * the generated reference pages match a fresh regeneration (drift gate);
-* every top-level public object of ``repro.engine``, ``repro.service``
-  and ``repro.workloads`` carries a docstring (doc-coverage gate).
+* every top-level public object of ``repro.engine``, ``repro.service``,
+  ``repro.workloads`` and ``repro.cluster`` carries a docstring
+  (doc-coverage gate).
 """
 
 from __future__ import annotations
@@ -77,11 +78,13 @@ class TestSiteStructure:
             "quickstart.md",
             "architecture.md",
             "serving.md",
+            "cluster.md",
             "artifacts.md",
             "reference/cli.md",
             "reference/engine.md",
             "reference/service.md",
             "reference/workloads.md",
+            "reference/cluster.md",
         ):
             assert required in pages, f"{required} missing from mkdocs nav"
 
@@ -149,7 +152,12 @@ class TestGeneratedReference:
 class TestDocCoverage:
     """Top-level public objects of the user-facing subsystems are documented."""
 
-    MODULES = ("repro.engine", "repro.service", "repro.workloads")
+    MODULES = (
+        "repro.engine",
+        "repro.service",
+        "repro.workloads",
+        "repro.cluster",
+    )
 
     @pytest.mark.parametrize("module_name", MODULES)
     def test_public_surface_has_docstrings(self, module_name):
