@@ -392,7 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="listen port (0 = ephemeral; the bound port is printed)",
     )
     cluster_router.add_argument(
-        "--backend", default="r4csa-lut",
+        "--backend", default="compiled",
         help="engine backend every joining worker builds",
     )
     cluster_router.add_argument(
@@ -459,7 +459,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="shrink the trace for CI smoke"
     )
     cluster_loadtest.add_argument(
-        "--json", action="store_true", help="emit the full report as JSON"
+        "--json", action="store_true",
+        help="emit the machine-readable report (lost/mismatches/latency "
+             "percentiles) as JSON instead of the human summary",
+    )
+    cluster_loadtest.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="additionally write the JSON report to PATH (works with or "
+             "without --json)",
     )
 
     backends = subparsers.add_parser(
@@ -894,6 +901,9 @@ def _command_cluster_loadtest(arguments: argparse.Namespace) -> int:
         )
     )
     healthy = report["lost"] == 0 and report["mismatches"] == 0
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
     if arguments.json:
         print(json.dumps(report, indent=2))
         return 0 if healthy else 1
@@ -940,18 +950,27 @@ def _command_backends(arguments: argparse.Namespace) -> int:
         tier = info.fidelity or "-"
         if info.macros is not None:
             tier += f" x{info.macros}"
+        codegen = "-"
+        if info.codegen is not None:
+            codegen = str(info.codegen.get("strategy", "?"))
+            if info.codegen.get("numpy_requested") and info.codegen.get(
+                "numpy_available"
+            ):
+                codegen += "+numpy"
         rows.append(
             (
                 info.name,
                 info.kind,
                 tier,
+                codegen,
                 "yes" if info.has_cycle_model else "no",
                 "direct" if info.direct_form else "montgomery",
                 bitwidths,
             )
         )
     print(render_table(
-        ("backend", "kind", "tier", "cycle model", "result form", "native bitwidths"),
+        ("backend", "kind", "tier", "codegen", "cycle model", "result form",
+         "native bitwidths"),
         rows,
         title="Engine backends",
     ))

@@ -1,0 +1,101 @@
+"""Process-wide cache of compiled kernels, one per (modulus, strategy).
+
+Kernel compilation is cheap (one :func:`compile` of a ~20-line module)
+but not free, and the constants derivation includes a big-int division
+per modulus — so kernels are built exactly once per process and shared.
+The cache is the compiled subsystem's analogue of the engine's context
+cache: the sharded pool routes a modulus to a stable home shard
+precisely so caches like this one stay hot.
+
+Thread safety: lookups are lock-free (a dict read of an existing key),
+builds take the module lock and re-check under it, so two threads
+racing the same cold modulus compile one kernel, not two.  This is the
+same contract :meth:`ModularMultiplier.prepare` documents.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiled.codegen import derive_constants
+from repro.compiled.kernels import CompiledKernel, numpy_state
+
+__all__ = [
+    "get_kernel",
+    "clear_kernel_cache",
+    "kernel_cache_stats",
+    "cached_kernel_keys",
+]
+
+#: Cache key: (modulus, strategy, numpy path active for this kernel).
+_Key = Tuple[int, str, bool]
+
+_LOCK = threading.Lock()
+_KERNELS: Dict[_Key, CompiledKernel] = {}
+_BUILDS = 0
+_HITS = 0
+
+
+def _resolve_key(
+    modulus: int, strategy: str, use_numpy: Optional[bool]
+) -> _Key:
+    state = numpy_state(use_numpy)
+    return (modulus, strategy, state.requested and state.available)
+
+
+def get_kernel(
+    modulus: int,
+    strategy: str = "barrett",
+    use_numpy: Optional[bool] = None,
+) -> CompiledKernel:
+    """The process-wide kernel for ``modulus``, built on first request.
+
+    Idempotent and thread-safe: concurrent callers for the same cold
+    modulus serialize on the build lock and all receive the one kernel
+    instance that was compiled.
+    """
+    global _BUILDS, _HITS
+    key = _resolve_key(modulus, strategy, use_numpy)
+    kernel = _KERNELS.get(key)
+    if kernel is not None:
+        _HITS += 1
+        return kernel
+    with _LOCK:
+        kernel = _KERNELS.get(key)
+        if kernel is not None:
+            _HITS += 1
+            return kernel
+        kernel = CompiledKernel(
+            derive_constants(modulus), strategy=strategy, use_numpy=use_numpy
+        )
+        _KERNELS[key] = kernel
+        _BUILDS += 1
+        return kernel
+
+
+def clear_kernel_cache() -> int:
+    """Drop every cached kernel; returns how many were resident."""
+    global _BUILDS, _HITS
+    with _LOCK:
+        count = len(_KERNELS)
+        _KERNELS.clear()
+        _BUILDS = 0
+        _HITS = 0
+        return count
+
+
+def kernel_cache_stats() -> Dict[str, int]:
+    """Build/hit counters plus residency, for diagnostics and tests."""
+    with _LOCK:
+        return {
+            "resident": len(_KERNELS),
+            "builds": _BUILDS,
+            "hits": _HITS,
+        }
+
+
+def cached_kernel_keys() -> List[Tuple[int, str, bool]]:
+    """The (modulus, strategy, numpy) keys currently resident, sorted."""
+    with _LOCK:
+        return sorted(_KERNELS)

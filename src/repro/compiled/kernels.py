@@ -1,0 +1,199 @@
+"""Compiled kernel objects and the optional numpy limb path.
+
+A :class:`CompiledKernel` wraps the functions :mod:`repro.compiled.codegen`
+generated for one modulus: the scalar ``multiply``, the flattened
+``batch_multiply`` loop, the constants they were specialized with and the
+source they were compiled from.
+
+The numpy path
+--------------
+
+``REPRO_COMPILED_NUMPY=1`` (or ``use_numpy=True`` on the multiplier /
+:func:`~repro.compiled.cache.get_kernel`) opts a kernel into vectorized
+batch evaluation.  The path activates only when **all** of the following
+hold — otherwise the kernel silently falls back to the generated scalar
+loop, so the flag degrades gracefully on hosts without numpy:
+
+* numpy imports (``numpy_state().available``);
+* the modulus fits :data:`NUMPY_MAX_BITS` (31) bits, so every product
+  fits an int64 word exactly — wider moduli would need multi-limb
+  arithmetic whose pack/unpack overhead erases the win for Python-int
+  operands;
+* the batch has at least :data:`NUMPY_MIN_BATCH` pairs (array
+  construction has a fixed cost the vector win must amortize).
+
+``REPRO_COMPILED_NUMPY=0`` force-disables the path even when a caller
+passed ``use_numpy=True``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiled.codegen import (
+    ReductionConstants,
+    compile_kernel_namespace,
+)
+
+__all__ = [
+    "CompiledKernel",
+    "NumpyState",
+    "numpy_state",
+    "NUMPY_ENV_VAR",
+    "NUMPY_MAX_BITS",
+    "NUMPY_MIN_BATCH",
+]
+
+#: Environment feature flag for the vectorized batch path.
+NUMPY_ENV_VAR = "REPRO_COMPILED_NUMPY"
+#: Widest modulus the int64 path is exact for (products stay < 2**62).
+NUMPY_MAX_BITS = 31
+#: Smallest batch worth paying the array-construction cost for.
+NUMPY_MIN_BATCH = 64
+
+_NUMPY = None
+_NUMPY_ERROR: Optional[str] = None
+_NUMPY_PROBED = False
+
+
+def _probe_numpy():
+    global _NUMPY, _NUMPY_ERROR, _NUMPY_PROBED
+    if not _NUMPY_PROBED:
+        try:
+            import numpy
+        except Exception as exc:  # pragma: no cover - host without numpy
+            _NUMPY, _NUMPY_ERROR = None, f"numpy unavailable: {exc}"
+        else:
+            _NUMPY, _NUMPY_ERROR = numpy, None
+        _NUMPY_PROBED = True
+    return _NUMPY
+
+
+@dataclass(frozen=True)
+class NumpyState:
+    """Whether the vectorized path can run on this host, and why not."""
+
+    #: numpy imported successfully.
+    available: bool
+    #: The feature flag's resolved value (env var or explicit override).
+    requested: bool
+    #: ``None`` when the path can activate, else the blocking reason.
+    reason: Optional[str]
+
+
+def _env_requested() -> Optional[bool]:
+    raw = os.environ.get(NUMPY_ENV_VAR)
+    if raw is None:
+        return None
+    return raw.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def numpy_state(use_numpy: Optional[bool] = None) -> NumpyState:
+    """Resolve the feature flag against what the host can actually do.
+
+    ``use_numpy`` overrides the environment flag unless the environment
+    *force-disables* the path (``REPRO_COMPILED_NUMPY=0`` wins, so a
+    deployment can switch the path off fleet-wide without code changes).
+    """
+    env = _env_requested()
+    if env is False:
+        requested = False
+    elif use_numpy is not None:
+        requested = use_numpy
+    else:
+        requested = bool(env)
+    available = _probe_numpy() is not None
+    reason = None
+    if not requested:
+        reason = "not requested (set REPRO_COMPILED_NUMPY=1)"
+    elif not available:
+        reason = _NUMPY_ERROR
+    return NumpyState(available=available, requested=requested, reason=reason)
+
+
+class CompiledKernel:
+    """The compiled functions of one ``(modulus, strategy)`` pair.
+
+    Instances are immutable once built and are shared process-wide through
+    :mod:`repro.compiled.cache`, so they carry no per-call state — calling
+    them from many threads is safe.
+    """
+
+    __slots__ = (
+        "constants",
+        "strategy",
+        "source",
+        "_scalar",
+        "_batch",
+        "numpy_eligible",
+        "numpy_requested",
+        "_numpy_mod",
+    )
+
+    def __init__(
+        self,
+        constants: ReductionConstants,
+        strategy: str = "barrett",
+        use_numpy: Optional[bool] = None,
+    ) -> None:
+        namespace = compile_kernel_namespace(constants, strategy)
+        self.constants = constants
+        self.strategy = strategy
+        self.source: str = namespace["__source__"]
+        self._scalar = namespace["multiply"]
+        self._batch = namespace["batch_multiply"]
+        state = numpy_state(use_numpy)
+        self.numpy_requested = state.requested
+        self.numpy_eligible = (
+            state.requested
+            and state.available
+            and constants.bit_width <= NUMPY_MAX_BITS
+        )
+        self._numpy_mod = _probe_numpy() if self.numpy_eligible else None
+
+    @property
+    def modulus(self) -> int:
+        """The modulus this kernel was specialized for."""
+        return self.constants.modulus
+
+    def multiply(self, a: int, b: int) -> int:
+        """One product through the compiled scalar kernel."""
+        return self._scalar(a, b)
+
+    def multiply_batch(self, pairs: Sequence[Tuple[int, int]]) -> List[int]:
+        """All products of ``pairs`` through the flattened batch loop.
+
+        Dispatches to the vectorized numpy path when this kernel is
+        eligible and the batch is large enough to amortize the array
+        round-trip; the result is bit-identical either way.
+        """
+        if self._numpy_mod is not None and len(pairs) >= NUMPY_MIN_BATCH:
+            return self._numpy_batch(pairs)
+        return self._batch(pairs)
+
+    def _numpy_batch(self, pairs: Sequence[Tuple[int, int]]) -> List[int]:
+        # Exact in int64: both operands are < 2**31, so the product is
+        # < 2**62 and never wraps before the remainder.
+        np = self._numpy_mod
+        array = np.asarray(pairs, dtype=np.int64)
+        products = (array[:, 0] * array[:, 1]) % self.constants.modulus
+        return products.tolist()
+
+    def describe(self) -> Dict[str, object]:
+        """Kernel metadata for diagnostics and ``repro backends --json``."""
+        return {
+            "modulus": self.constants.modulus,
+            "strategy": self.strategy,
+            "numpy_requested": self.numpy_requested,
+            "numpy_eligible": self.numpy_eligible,
+            "source_lines": self.source.count("\n"),
+            **self.constants.describe(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledKernel(modulus={self.constants.modulus:#x}, "
+            f"strategy={self.strategy!r}, numpy={self.numpy_eligible})"
+        )

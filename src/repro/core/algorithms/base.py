@@ -105,13 +105,23 @@ class ModularMultiplier(abc.ABC):
         self.stats.reset()
 
     def prepare(self, modulus: int) -> None:
-        """Eagerly derive any per-modulus precomputation (idempotent).
+        """Eagerly derive any per-modulus precomputation.
 
         The engine layer calls this once when a ``(backend, modulus)``
         context enters the cache so that Montgomery/Barrett constants,
         overflow LUTs and accelerator sizing are built before the first
         multiplication instead of lazily inside it.  Algorithms without
         per-modulus state inherit this no-op.
+
+        Contract (relied on by the serving layers, regression-tested in
+        ``tests/core/test_prepare_concurrency.py``):
+
+        * **idempotent** — calling ``prepare`` again with the same modulus
+          is a cheap no-op that reuses the existing precomputation;
+        * **thread-safe** — concurrent ``prepare`` calls on one instance
+          must build the per-modulus state exactly once and leave the
+          instance consistent, so executors may warm shared multipliers
+          from worker threads without external locking.
         """
 
     def cycles(self, bitwidth: int) -> Optional[int]:
@@ -127,7 +137,14 @@ class ModularMultiplier(abc.ABC):
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
     def _multiply(self, a: int, b: int, modulus: int) -> int:
-        """Algorithm body; operands are already validated."""
+        """Algorithm body; operands are already validated.
+
+        Subclasses may additionally define an optional
+        ``_multiply_batch(pairs, modulus) -> Sequence[int]`` hook with the
+        same precondition; :meth:`repro.engine.Engine.multiply_batch`
+        prefers it over the per-element loop when present (the
+        ``compiled`` backend's flattened kernel path).
+        """
 
     # ------------------------------------------------------------------ #
     # helpers

@@ -29,6 +29,7 @@ Implementation notes (see DESIGN.md §1 for the full discussion):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -136,6 +137,7 @@ class R4CSALutMultiplier(ModularMultiplier):
         self.last_trace: List[IterationSnapshot] = []
         self._context: Optional[R4CSALutContext] = None
         self._overflow: Optional[Tuple[int, int, OverflowLut]] = None
+        self._overflow_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # precomputation / context handling
@@ -145,19 +147,29 @@ class R4CSALutMultiplier(ModularMultiplier):
 
         LUT-overflow depends on ``p`` alone, so it is cached separately from
         the ``(B, p)`` context: switching multiplicand under the same
-        modulus only rebuilds LUT-radix4.
+        modulus only rebuilds LUT-radix4.  The build runs under a lock with
+        a re-check, so concurrent :meth:`prepare` calls construct the table
+        exactly once (the prepare contract of the base class).
         """
         cached = self._overflow
         if cached is not None and cached[0] == modulus and cached[1] == register_width:
             return cached[2]
-        lut = build_overflow_lut(
-            modulus, register_width, entry_count=OVERFLOW_LUT_ENTRIES
-        )
-        self._overflow = (modulus, register_width, lut)
-        return lut
+        with self._overflow_lock:
+            cached = self._overflow
+            if (
+                cached is not None
+                and cached[0] == modulus
+                and cached[1] == register_width
+            ):
+                return cached[2]
+            lut = build_overflow_lut(
+                modulus, register_width, entry_count=OVERFLOW_LUT_ENTRIES
+            )
+            self._overflow = (modulus, register_width, lut)
+            return lut
 
     def prepare(self, modulus: int) -> None:
-        """Build the per-modulus overflow LUT eagerly."""
+        """Build the per-modulus overflow LUT eagerly (idempotent, locked)."""
         bitwidth = max(modulus.bit_length(), 2)
         self._overflow_for(modulus, bitwidth + 1)
 

@@ -70,6 +70,9 @@ class BackendInfo:
     fidelity: Optional[str] = None
     #: Macro count of chip-level backends (``None`` for single-macro ones).
     macros: Optional[int] = None
+    #: Code-generation metadata of compiled backends (emission strategy,
+    #: feature-flag state); ``None`` for backends that do not generate code.
+    codegen: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Metadata as a plain dictionary (for ``--json`` output)."""
@@ -86,6 +89,7 @@ class BackendInfo:
             ),
             "fidelity": self.fidelity,
             "macros": self.macros,
+            "codegen": None if self.codegen is None else dict(self.codegen),
         }
 
 
@@ -331,16 +335,19 @@ def _build_default_backends() -> None:
     import repro.baselines  # noqa: F401
     import repro.modsram.multiplier  # noqa: F401
     from repro.baselines.base import available_designs
+    from repro.compiled.multiplier import CompiledBackend
 
-    accelerator_backends = {
+    # Backends needing a richer adapter than the plain MultiplierBackend.
+    special_backends = {
         "modsram": ModSRAMBackend,
         "modsram-fast": ModSRAMFastBackend,
         "modsram-chip": ModSRAMChipBackend,
+        "compiled": CompiledBackend,
     }
     for name in available_multipliers():
         if name in _REGISTRY:
             continue
-        backend_cls = accelerator_backends.get(name)
+        backend_cls = special_backends.get(name)
         if backend_cls is not None:
             _REGISTRY[name] = backend_cls()
         else:

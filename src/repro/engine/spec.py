@@ -38,8 +38,11 @@ class EngineSpec:
     is of course independent — that is the point.
     """
 
-    #: Backend registry name (``"r4csa-lut"``, ``"montgomery"``, ...).
-    backend: str = "r4csa-lut"
+    #: Backend registry name (``"compiled"``, ``"r4csa-lut"``,
+    #: ``"montgomery"``, ...).  The default is the codegen backend: a
+    #: spec is what ships to pool shards and cluster worker nodes, and
+    #: those want the fastest bit-identical kernel unless told otherwise.
+    backend: str = "compiled"
     #: Named curve whose base field becomes the default modulus.
     curve: Optional[str] = None
     #: Explicit default modulus (overrides ``curve``'s base field).

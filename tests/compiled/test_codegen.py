@@ -1,0 +1,124 @@
+"""Unit tests for the per-modulus kernel codegen layer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.compiled.codegen import (
+    STRATEGIES,
+    compile_kernel_namespace,
+    derive_constants,
+    generate_source,
+    kernel_filename,
+)
+from repro.core.algorithms.r4csa_lut import OVERFLOW_LUT_ENTRIES
+from repro.core.luts import build_overflow_lut
+from repro.ecc.curves_data import CURVE_SPECS
+from repro.errors import ConfigurationError, ModulusError
+
+BN254_P = CURVE_SPECS["bn254"].field_modulus
+SECP256K1_P = CURVE_SPECS["secp256k1"].field_modulus
+SMALL_MODULI = (97, 101, 251, 997, 65521, (1 << 61) - 1)
+
+
+class TestDeriveConstants:
+    @pytest.mark.parametrize("modulus", [BN254_P, SECP256K1_P, *SMALL_MODULI])
+    def test_barrett_constants_are_exact(self, modulus):
+        constants = derive_constants(modulus)
+        n = modulus.bit_length()
+        assert constants.bit_width == n
+        assert constants.register_width == n + 1
+        assert constants.barrett_shift == 2 * n
+        assert constants.barrett_mu == (1 << (2 * n)) // modulus
+
+    def test_montgomery_constants_only_for_odd_moduli(self):
+        odd = derive_constants(997)
+        assert odd.montgomery_r == 1 << 10
+        assert odd.montgomery_r2 == (odd.montgomery_r ** 2) % 997
+        # n' satisfies p * p^-1 ≡ -1 (mod R), the REDC identity.
+        assert (997 * odd.montgomery_n_prime) % odd.montgomery_r == (
+            odd.montgomery_r - 1
+        )
+        even = derive_constants(1000)
+        assert even.montgomery_r is None
+        assert even.montgomery_r2 is None
+        assert even.montgomery_n_prime is None
+        # Barrett constants exist either way.
+        assert even.barrett_mu == (1 << 20) // 1000
+
+    def test_overflow_lut_matches_the_core_table(self):
+        constants = derive_constants(BN254_P)
+        reference = build_overflow_lut(
+            BN254_P,
+            BN254_P.bit_length() + 1,
+            entry_count=OVERFLOW_LUT_ENTRIES,
+        )
+        assert constants.overflow_lut == reference.entries
+        assert len(constants.overflow_lut) == OVERFLOW_LUT_ENTRIES
+
+    def test_rejects_degenerate_moduli(self):
+        for modulus in (2, 1, 0, -5):
+            with pytest.raises(ModulusError):
+                derive_constants(modulus)
+
+    def test_describe_reports_sizes_not_values(self):
+        summary = derive_constants(BN254_P).describe()
+        assert summary["bit_width"] == 254
+        assert summary["overflow_lut_entries"] == OVERFLOW_LUT_ENTRIES
+        assert summary["montgomery"] is True
+
+
+class TestGeneratedSource:
+    def test_constants_are_baked_into_the_source(self):
+        constants = derive_constants(997)
+        source = generate_source(constants)
+        assert "997" in source
+        assert str(constants.barrett_mu) in source
+        assert "def multiply" in source
+        assert "def batch_multiply" in source
+        # The branch-free correction, not an if-statement.
+        assert "-(r >= _p)" in source
+        assert "if " not in source
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_compiled_namespace_computes_correct_products(self, strategy):
+        rng = random.Random(0xABC)
+        for modulus in (997, 65521, (1 << 61) - 1, BN254_P):
+            namespace = compile_kernel_namespace(
+                derive_constants(modulus), strategy
+            )
+            multiply = namespace["multiply"]
+            batch = namespace["batch_multiply"]
+            pairs = [
+                (rng.randrange(modulus), rng.randrange(modulus))
+                for _ in range(32)
+            ]
+            expected = [a * b % modulus for a, b in pairs]
+            assert [multiply(a, b) for a, b in pairs] == expected
+            assert batch(pairs) == expected
+
+    def test_namespace_carries_the_source(self):
+        namespace = compile_kernel_namespace(derive_constants(997))
+        assert namespace["__source__"] == generate_source(
+            derive_constants(997)
+        )
+
+    def test_unknown_strategy_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown codegen"):
+            generate_source(derive_constants(997), "simd")
+
+    def test_kernel_filename_names_modulus_and_strategy(self):
+        name = kernel_filename(997, "barrett")
+        assert "barrett" in name and "0x3e5" in name
+
+    def test_barrett_edge_operands(self):
+        """0, 1 and p-1 — the extremes of the single-correction proof."""
+        for modulus in (3, 5, 997, BN254_P, SECP256K1_P):
+            namespace = compile_kernel_namespace(derive_constants(modulus))
+            multiply = namespace["multiply"]
+            edge = [0, 1, modulus - 1, modulus // 2]
+            for a in edge:
+                for b in edge:
+                    assert multiply(a, b) == a * b % modulus

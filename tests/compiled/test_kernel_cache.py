@@ -1,0 +1,76 @@
+"""The process-wide kernel cache: exactly-once builds, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.compiled import (
+    cached_kernel_keys,
+    clear_kernel_cache,
+    get_kernel,
+    kernel_cache_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_kernel_cache()
+    yield
+    clear_kernel_cache()
+
+
+class TestKernelCache:
+    def test_same_modulus_returns_the_same_kernel(self):
+        first = get_kernel(997)
+        second = get_kernel(997)
+        assert first is second
+        stats = kernel_cache_stats()
+        assert stats["builds"] == 1
+        assert stats["hits"] == 1
+        assert stats["resident"] == 1
+
+    def test_strategy_is_part_of_the_key(self):
+        barrett = get_kernel(997, strategy="barrett")
+        native = get_kernel(997, strategy="native")
+        assert barrett is not native
+        assert {key[1] for key in cached_kernel_keys()} == {
+            "barrett",
+            "native",
+        }
+        # Both reduce identically.
+        assert barrett.multiply(123, 456) == native.multiply(123, 456)
+
+    def test_clear_drops_kernels_and_counters(self):
+        get_kernel(997)
+        assert clear_kernel_cache() == 1
+        assert kernel_cache_stats() == {
+            "resident": 0,
+            "builds": 0,
+            "hits": 0,
+        }
+
+    def test_concurrent_cold_requests_build_exactly_once(self):
+        """16 threads racing one cold modulus must share a single build."""
+        modulus = 0xFFFFFFFFFFFFFFC5
+        barrier = threading.Barrier(16)
+        kernels = []
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait()
+                kernels.append(get_kernel(modulus))
+            except Exception as exc:  # pragma: no cover - diagnostic only
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(kernels) == 16
+        assert all(kernel is kernels[0] for kernel in kernels)
+        assert kernel_cache_stats()["builds"] == 1

@@ -85,6 +85,8 @@ class TestSiteStructure:
             "reference/service.md",
             "reference/workloads.md",
             "reference/cluster.md",
+            "compiled.md",
+            "reference/compiled.md",
         ):
             assert required in pages, f"{required} missing from mkdocs nav"
 
@@ -157,6 +159,7 @@ class TestDocCoverage:
         "repro.service",
         "repro.workloads",
         "repro.cluster",
+        "repro.compiled",
     )
 
     @pytest.mark.parametrize("module_name", MODULES)
