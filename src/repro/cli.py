@@ -15,7 +15,8 @@ ModSRAM model and the Table 3 PIM baselines — is reachable from the shell::
     python -m repro.cli submit   [--workload batch|product-tree] [--json]
     python -m repro.cli cluster router   [--port P] [--replication R]
     python -m repro.cli cluster worker   --port P [--name N] [--pool-workers W]
-    python -m repro.cli cluster loadtest [--workers N] [--kill-worker] [--json]
+    python -m repro.cli cluster loadtest [--workers N] [--kill-worker]
+                                         [--wire {1,2}] [--json]
     python -m repro.cli backends [--json]           # backend capability matrix
     python -m repro.cli cycles   [--bitwidth N]     # cycle model + comparison
     python -m repro.cli area     [--rows R] [--bitwidth N] [--technology NM]
@@ -413,6 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--rate-per-tenant", type=float, default=None,
         help="token-bucket rate per tenant in pairs/second (default: unlimited)",
     )
+    cluster_router.add_argument(
+        "--wire", type=int, choices=(1, 2), default=2,
+        help="highest wire protocol version the router negotiates "
+             "(2 = binary codec, 1 = JSON only)",
+    )
 
     cluster_worker = cluster_commands.add_parser(
         "worker",
@@ -430,6 +436,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_worker.add_argument(
         "--pool-workers", type=int, default=0,
         help="process-pool shards under this node's server (0 = inline)",
+    )
+    cluster_worker.add_argument(
+        "--wire", type=int, choices=(1, 2), default=2,
+        help="highest wire protocol version this node advertises "
+             "(2 = binary codec, 1 = JSON only)",
     )
 
     cluster_loadtest = cluster_commands.add_parser(
@@ -457,6 +468,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_loadtest.add_argument(
         "--quick", action="store_true", help="shrink the trace for CI smoke"
+    )
+    cluster_loadtest.add_argument(
+        "--wire", type=int, choices=(1, 2), default=2,
+        help="wire protocol version of the whole fleet path "
+             "(2 = binary codec, 1 = JSON only)",
     )
     cluster_loadtest.add_argument(
         "--json", action="store_true",
@@ -844,6 +860,7 @@ def _command_cluster_router(arguments: argparse.Namespace) -> int:
         port=arguments.port,
         replication=arguments.replication,
         rate_per_tenant=arguments.rate_per_tenant,
+        wire=arguments.wire,
     )
 
     async def run():
@@ -876,6 +893,7 @@ def _command_cluster_worker(arguments: argparse.Namespace) -> int:
             arguments.port,
             name=arguments.name,
             pool_workers=arguments.pool_workers,
+            wire=arguments.wire,
         )
     except KeyboardInterrupt:
         pass
@@ -898,6 +916,7 @@ def _command_cluster_loadtest(arguments: argparse.Namespace) -> int:
             seed=arguments.seed,
             kill_worker=arguments.kill_worker,
             quick=arguments.quick,
+            wire=arguments.wire,
         )
     )
     healthy = report["lost"] == 0 and report["mismatches"] == 0
@@ -909,7 +928,8 @@ def _command_cluster_loadtest(arguments: argparse.Namespace) -> int:
         return 0 if healthy else 1
     cluster = report["cluster"]
     latency = report["latency"]
-    print(f"fleet             : {report['workers']} workers"
+    print(f"fleet             : {report['workers']} workers, "
+          f"wire v{report.get('wire', 1)}"
           + (f" (killed pid {report['killed_pid']} mid-run)"
              if report["kill_worker"] else ""))
     print(f"trace             : {report['events']} requests, "
@@ -932,11 +952,13 @@ def _command_cluster_loadtest(arguments: argparse.Namespace) -> int:
 def _command_backends(arguments: argparse.Namespace) -> int:
     infos = [get_backend(name).info for name in available_backends()]
     if arguments.json:
+        from repro.compiled.cache import kernel_cache_stats
         from repro.engine import global_cache_stats
 
         payload = {
             "backends": [info.as_dict() for info in infos],
             "context_cache": global_cache_stats().as_dict(),
+            "compiled_kernel_cache": kernel_cache_stats(),
         }
         print(json.dumps(payload, indent=2))
         return 0

@@ -25,7 +25,12 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.cluster.protocol import DEFAULT_MAX_FRAME_BYTES, Connection
+from repro.cluster.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    Connection,
+    PackedInts,
+    negotiate_wire,
+)
 from repro.errors import (
     AdmissionError,
     ConfigurationError,
@@ -104,7 +109,10 @@ class ClusterClient:
         tenant: str = "default",
         slo: Optional[str] = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        wire: int = 2,
     ) -> None:
+        if wire not in (1, 2):
+            raise ConfigurationError(f"wire must be 1 or 2, got {wire}")
         self.host = host
         self.port = port
         self.tenant = tenant
@@ -112,6 +120,10 @@ class ClusterClient:
         #: (``None`` = the router catalog's loosest tier).
         self.slo = slo
         self.max_frame_bytes = max_frame_bytes
+        #: Highest wire protocol version this client advertises in its
+        #: hello; :attr:`wire` holds the router's negotiated answer once
+        #: :meth:`connect` returns.
+        self.wire = wire
         self._connection: Optional[Connection] = None
         self._reader: Optional[asyncio.Task] = None
         self._ids = itertools.count()
@@ -130,7 +142,9 @@ class ClusterClient:
         self._connection = Connection(
             reader, writer, max_frame_bytes=self.max_frame_bytes
         )
-        await self._connection.send({"type": "hello", "tenant": self.tenant})
+        await self._connection.send(
+            {"type": "hello", "tenant": self.tenant, "wire": self.wire}
+        )
         welcome = await self._connection.receive()
         if welcome is None or welcome["type"] != "welcome":
             got = None if welcome is None else welcome["type"]
@@ -138,6 +152,10 @@ class ClusterClient:
                 f"router answered hello with {got!r}, expected 'welcome'"
             )
         self.slo_classes = dict(welcome.get("slo_classes") or {})  # type: ignore[arg-type]
+        # Switch codecs at the agreed stream position: the router upgrades
+        # its end immediately after writing this welcome.
+        self.wire = negotiate_wire(welcome.get("wire"), self.wire)
+        self._connection.upgrade(self.wire)
         self._reader = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
@@ -238,8 +256,13 @@ class ClusterClient:
         started = time.monotonic()
         await self._connection.send(message)
         reply = await future
+        values = reply.get("values") or ()
         return ClusterResponse(
-            values=tuple(int(v) for v in reply.get("values") or ()),
+            values=(
+                tuple(values.tolist())
+                if isinstance(values, PackedInts)
+                else tuple(int(v) for v in values)
+            ),
             kind=str(reply.get("kind", "pairs")),
             backend=str(reply.get("backend", "")),
             modulus=int(reply.get("modulus", body["modulus"])),  # type: ignore[arg-type]
@@ -278,21 +301,30 @@ class ClusterClient:
                 break
             if message is None:
                 break
-            request_id = message.get("id")
-            future = self._futures.pop(request_id, None)  # type: ignore[arg-type]
-            if future is None or future.done():
-                continue
-            if message["type"] == "error":
-                name = str(message.get("error", "ServiceError"))
-                exc_class = _ERROR_CLASSES.get(name, ServiceError)
-                future.set_exception(
-                    exc_class(str(message.get("message", name)))
-                )
+            if message["type"] == "results":
+                # Coalesced multi-result frame (wire v2): resolve each
+                # bundled answer exactly as if it arrived alone.
+                for entry in message.get("results") or ():
+                    if isinstance(entry, dict):
+                        self._resolve(entry)
             else:
-                future.set_result(message)
+                self._resolve(message)
         self._fail_all(
             ServiceError("cluster connection closed with requests in flight")
         )
+
+    def _resolve(self, message: Dict[str, object]) -> None:
+        """Resolve one response frame to the future of its request id."""
+        request_id = message.get("id")
+        future = self._futures.pop(request_id, None)  # type: ignore[arg-type]
+        if future is None or future.done():
+            return
+        if message["type"] == "error":
+            name = str(message.get("error", "ServiceError"))
+            exc_class = _ERROR_CLASSES.get(name, ServiceError)
+            future.set_exception(exc_class(str(message.get("message", name))))
+        else:
+            future.set_result(message)
 
     def _fail_all(self, error: ReproError) -> None:
         pending: List[asyncio.Future] = [

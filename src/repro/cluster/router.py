@@ -46,7 +46,10 @@ from typing import Dict, List, Optional, Set
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
+    CoalescingSender,
     Connection,
+    PackedInts,
+    negotiate_wire,
 )
 from repro.cluster.ratelimit import TenantRateLimiter
 from repro.cluster.ring import HashRing
@@ -92,8 +95,17 @@ class RouterConfig:
     rate_per_tenant: Optional[float] = None
     #: Bucket capacity (defaults to twice the rate).
     burst_per_tenant: Optional[float] = None
+    #: Highest wire protocol version the router negotiates (2 = the
+    #: binary codec; 1 pins the whole fleet to the JSON codec).  Every
+    #: connection still *starts* in v1 and only upgrades when the peer
+    #: advertises v2 too — see :func:`repro.cluster.protocol.negotiate_wire`.
+    wire: int = 2
 
     def __post_init__(self) -> None:
+        if self.wire not in (1, 2):
+            raise ConfigurationError(
+                f"wire must be 1 or 2, got {self.wire}"
+            )
         if self.replication < 1:
             raise ConfigurationError(
                 f"replication must be >= 1, got {self.replication}"
@@ -116,6 +128,10 @@ class _WorkerSession:
 
     name: str
     connection: Connection
+    #: Pipelined outbound path (jobs coalesce into ``jobs`` frames on v2).
+    sender: CoalescingSender
+    #: Negotiated wire version of this node's connection.
+    wire: int = 1
     #: Job ids currently placed on this node.
     pending: Set[int] = field(default_factory=set)
     #: ``live`` -> ``draining`` (leave announced) -> ``dead``/``left``.
@@ -136,6 +152,9 @@ class _ClusterJob:
     deadline_ms: Optional[float]
     priority: int
     client: Connection
+    #: Pipelined answer path of the submitting client's connection
+    #: (results coalesce into ``results`` frames on v2).
+    client_sender: CoalescingSender
     client_id: object
     submitted_at: float
     node: str = ""
@@ -218,6 +237,7 @@ class Router:
             )
         self._jobs.clear()
         for session in list(self._workers.values()):
+            session.sender.close()
             if session.state in ("live", "draining"):
                 try:
                     await session.connection.send({"type": "shutdown"})
@@ -277,13 +297,23 @@ class Router:
                     return
                 kind = message["type"]
                 if kind == "hello":
+                    wire = negotiate_wire(
+                        message.get("wire"), self.config.wire
+                    )
                     await connection.send(
                         {
                             "type": "welcome",
                             "role": "client",
+                            "wire": wire,
                             "slo_classes": self.slo_catalog.as_dict(),
                             "nodes": self.live_nodes,
                         }
+                    )
+                    # Same stream position as the client's upgrade: every
+                    # byte after the welcome frame is the chosen codec.
+                    connection.upgrade(wire)
+                    self.metrics.wire_clients[wire] = (
+                        self.metrics.wire_clients.get(wire, 0) + 1
                     )
                     await self._serve_client(connection)
                     return
@@ -325,6 +355,15 @@ class Router:
     # client side
     # ------------------------------------------------------------------ #
     async def _serve_client(self, connection: Connection) -> None:
+        sender = CoalescingSender(connection, stats=self.metrics.wire_frames)
+        try:
+            await self._serve_client_loop(connection, sender)
+        finally:
+            sender.close()
+
+    async def _serve_client_loop(
+        self, connection: Connection, sender: CoalescingSender
+    ) -> None:
         while True:
             try:
                 message = await connection.receive()
@@ -336,7 +375,7 @@ class Router:
             kind = message["type"]
             if kind == "submit":
                 try:
-                    await self._handle_submit(connection, message)
+                    await self._handle_submit(connection, sender, message)
                 except ProtocolError as error:
                     await self._answer_protocol_error(
                         connection, message.get("id"), error
@@ -374,7 +413,16 @@ class Router:
             )
         if kind == "pairs":
             pairs = message.get("pairs")
-            if (
+            if isinstance(pairs, PackedInts):
+                # A lazily decoded v2 blob: its shape was validated on
+                # decode, so accept it unmaterialized — the router only
+                # needs its length, and forwarding it is zero-copy.
+                if not pairs.is_pairs or not len(pairs):
+                    raise ProtocolError(
+                        "submit pairs must be a non-empty list of [a, b] "
+                        "integer pairs"
+                    )
+            elif (
                 not isinstance(pairs, list)
                 or not pairs
                 or not all(
@@ -406,7 +454,10 @@ class Router:
         }
 
     async def _handle_submit(
-        self, connection: Connection, message: Dict[str, object]
+        self,
+        connection: Connection,
+        sender: CoalescingSender,
+        message: Dict[str, object],
     ) -> None:
         parsed = self._parse_submit(message)
         tenant = str(message.get("tenant", "default"))
@@ -441,6 +492,7 @@ class Router:
             deadline_ms=None if deadline is None else float(deadline),  # type: ignore[arg-type]
             priority=int(message.get("priority", slo.priority)),  # type: ignore[arg-type]
             client=connection,
+            client_sender=sender,
             client_id=message.get("id"),
             submitted_at=time.monotonic(),
         )
@@ -474,57 +526,59 @@ class Router:
         ]
 
     async def _place(self, job: _ClusterJob, exclude: Optional[Set[str]] = None) -> None:
-        """Send one job to the least-loaded live replica of its modulus."""
+        """Queue one job on the least-loaded live replica of its modulus.
+
+        Dispatch is *pipelined*: the job lands on the chosen node's
+        :class:`CoalescingSender` outbox and this coroutine returns
+        without waiting for the socket, so the submit path keeps
+        decoding the next request while earlier jobs are still being
+        written — and jobs queued behind one in-flight write coalesce
+        into a single multi-job frame on v2 connections.  A socket that
+        dies under the queue surfaces through the sender's error hook as
+        a node loss, which re-dispatches everything pending on the node
+        through the existing orphan machinery — the failure path that
+        used to live here, minus the blocking.
+        """
         exclude = set(exclude or ())
-        while True:
-            candidates = self._candidates(job, exclude)
-            if not candidates:
-                candidates = self._candidates(job, set())
-            if not candidates:
-                self._jobs.pop(job.job_id, None)
-                await self._answer_error(
-                    job,
-                    WorkerCrashError("no live cluster nodes to place on"),
-                    retryable=True,
-                )
-                return
-            home = candidates[0]
-            chosen = min(
-                candidates,
-                key=lambda name: (self.metrics.node(name).inflight, name),
+        candidates = self._candidates(job, exclude)
+        if not candidates:
+            candidates = self._candidates(job, set())
+        if not candidates:
+            self._jobs.pop(job.job_id, None)
+            await self._answer_error(
+                job,
+                WorkerCrashError("no live cluster nodes to place on"),
+                retryable=True,
             )
-            session = self._workers[chosen]
-            node_metrics = self.metrics.node(chosen)
-            try:
-                await session.connection.send(
-                    {
-                        "type": "job",
-                        "id": job.job_id,
-                        "kind": job.kind,
-                        "modulus": job.modulus,
-                        "payload": job.payload,
-                        "tenant": job.tenant,
-                        "priority": job.priority,
-                        "deadline_ms": job.deadline_ms,
-                        "slo": job.slo,
-                    }
-                )
-            except (ConnectionError, OSError):
-                # The socket died under us: treat it as a node loss (the
-                # reader task will too; _lose_node is idempotent) and
-                # try the next candidate.
-                await self._lose_node(chosen, reason="send failed")
-                exclude.add(chosen)
-                continue
-            job.node = chosen
-            session.pending.add(job.job_id)
-            node_metrics.dispatched += 1
-            node_metrics.pairs += job.weight
-            if chosen != home:
-                node_metrics.replica_placements += 1
-            if job.retries:
-                node_metrics.redispatched += 1
             return
+        home = candidates[0]
+        chosen = min(
+            candidates,
+            key=lambda name: (self.metrics.node(name).inflight, name),
+        )
+        session = self._workers[chosen]
+        node_metrics = self.metrics.node(chosen)
+        job.node = chosen
+        session.pending.add(job.job_id)
+        node_metrics.dispatched += 1
+        node_metrics.pairs += job.weight
+        if chosen != home:
+            node_metrics.replica_placements += 1
+        if job.retries:
+            node_metrics.redispatched += 1
+        session.sender.enqueue(
+            {
+                "type": "job",
+                "id": job.job_id,
+                "kind": job.kind,
+                "modulus": job.modulus,
+                "payload": job.payload,
+                "tenant": job.tenant,
+                "priority": job.priority,
+                "deadline_ms": job.deadline_ms,
+                "slo": job.slo,
+            }
+        )
 
     # ------------------------------------------------------------------ #
     # worker side
@@ -543,22 +597,41 @@ class Router:
                 ProtocolError(f"node name {name!r} is already joined"),
             )
             return
-        session = _WorkerSession(name=name, connection=connection)
-        self._workers[name] = session
-        self._ring.add(name)
-        node_metrics = self.metrics.node(name)
-        node_metrics.state = "live"
-        node_metrics.record_heartbeat({})
+        wire = negotiate_wire(join.get("wire"), self.config.wire)
+        session = _WorkerSession(
+            name=name,
+            connection=connection,
+            sender=CoalescingSender(
+                connection,
+                on_error=lambda error, _name=name: self._lose_node(
+                    _name, reason="send failed"
+                ),
+                stats=self.metrics.wire_frames,
+            ),
+            wire=wire,
+        )
+        # Welcome (still v1) and the codec switch happen *before* the
+        # node is registered for placement, so no job frame can be
+        # queued on the connection while the two ends disagree on the
+        # framing.
         await connection.send(
             {
                 "type": "welcome",
                 "role": "worker",
                 "node": name,
+                "wire": wire,
                 "engine_spec": self.spec.as_dict(),
                 "heartbeat_interval_s": self.config.heartbeat_interval_s,
                 "slo_classes": self.slo_catalog.as_dict(),
             }
         )
+        connection.upgrade(wire)
+        self._workers[name] = session
+        self._ring.add(name)
+        node_metrics = self.metrics.node(name)
+        node_metrics.state = "live"
+        node_metrics.wire = wire
+        node_metrics.record_heartbeat({})
         try:
             while True:
                 try:
@@ -575,6 +648,12 @@ class Router:
                     )
                 elif kind == "result":
                     await self._handle_worker_result(session, message)
+                elif kind == "results":
+                    # A coalesced frame: several results that completed
+                    # within one of the worker's flush windows.
+                    for entry in message.get("results") or ():  # type: ignore[union-attr]
+                        if isinstance(entry, dict):
+                            await self._handle_worker_result(session, entry)
                 elif kind == "error":
                     await self._handle_worker_error(session, message)
                 elif kind == "leave":
@@ -612,10 +691,11 @@ class Router:
         response["node"] = session.name
         response["slo"] = job.slo
         response["router_latency_ms"] = latency_s * 1e3
-        try:
-            await job.client.send(response)
-        except (ConnectionError, OSError):
-            pass  # client went away; the work still counted
+        # Pipelined fan-back: answers queued while one write is in
+        # flight coalesce into a single multi-result frame on v2
+        # connections.  A dead client breaks the sender silently — the
+        # work still counted.
+        job.client_sender.enqueue(response)
         await self._maybe_finish_drain(session)
 
     async def _handle_worker_error(
@@ -679,6 +759,7 @@ class Router:
         if session is None or session.state in ("dead", "left"):
             return
         session.state = "dead"
+        session.sender.close()
         self.metrics.lost_nodes += 1
         node_metrics = self.metrics.node(name)
         node_metrics.state = "dead"
@@ -750,6 +831,13 @@ class Router:
             for name, session in self._workers.items()
         }
 
+    def wire_versions(self) -> Dict[str, int]:
+        """Negotiated wire version per connected worker node."""
+        return {
+            name: session.wire
+            for name, session in sorted(self._workers.items())
+        }
+
     def describe(self) -> Dict[str, object]:
         """The cluster rollup ``stats`` frames answer with."""
         return {
@@ -760,6 +848,8 @@ class Router:
             "slo_classes": self.slo_catalog.as_dict(),
             "rate_limiter": self.limiter.describe(),
             "ring_nodes": self._ring.nodes,
+            "wire_max": self.config.wire,
+            "wire_workers": self.wire_versions(),
         }
 
     def __repr__(self) -> str:

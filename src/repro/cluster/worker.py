@@ -30,7 +30,13 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
-from repro.cluster.protocol import DEFAULT_MAX_FRAME_BYTES, Connection
+from repro.cluster.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    CoalescingSender,
+    Connection,
+    PackedInts,
+    negotiate_wire,
+)
 from repro.engine import EngineSpec
 from repro.errors import (
     AdmissionError,
@@ -62,12 +68,18 @@ class WorkerConfig:
     batch_window_ms: float = 1.0
     #: Frame size limit (must match the router's).
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    #: Highest wire protocol version this node advertises in its join
+    #: (2 = binary codec; 1 pins the node to the JSON codec).  The
+    #: router's welcome answers with the negotiated version.
+    wire: int = 2
 
     def __post_init__(self) -> None:
         if self.pool_workers < 0:
             raise ConfigurationError(
                 f"pool_workers must be >= 0, got {self.pool_workers}"
             )
+        if self.wire not in (1, 2):
+            raise ConfigurationError(f"wire must be 1 or 2, got {self.wire}")
 
 
 class WorkerNode:
@@ -93,6 +105,9 @@ class WorkerNode:
         self.name = self.config.name or f"worker-{os.getpid()}"
         self.server: Optional[Server] = None
         self._connection: Optional[Connection] = None
+        #: Negotiated wire version (valid after :meth:`start`).
+        self.wire: int = 1
+        self._sender: Optional[CoalescingSender] = None
         self._heartbeat_interval_s = 1.0
         self._heartbeat_task: Optional[asyncio.Task] = None
         self._reader_task: Optional[asyncio.Task] = None
@@ -111,7 +126,9 @@ class WorkerNode:
         self._connection = Connection(
             reader, writer, max_frame_bytes=self.config.max_frame_bytes
         )
-        await self._connection.send({"type": "join", "node": self.name})
+        await self._connection.send(
+            {"type": "join", "node": self.name, "wire": self.config.wire}
+        )
         welcome = await self._connection.receive()
         if welcome is not None and welcome["type"] == "error":
             raise ProtocolError(
@@ -126,6 +143,13 @@ class WorkerNode:
         self._heartbeat_interval_s = float(
             welcome.get("heartbeat_interval_s", 1.0)  # type: ignore[arg-type]
         )
+        # The router's welcome names the negotiated version; switch codecs
+        # *before* reading any further frame — the router upgrades its end
+        # right after writing the welcome, so this is the one deterministic
+        # stream position both sides agree on.
+        self.wire = negotiate_wire(welcome.get("wire"), self.config.wire)
+        self._connection.upgrade(self.wire)
+        self._sender = CoalescingSender(self._connection)
         self.server = Server(
             engine=spec.build(),
             config=ServerConfig(
@@ -162,6 +186,10 @@ class WorkerNode:
         self._heartbeat_task = self._reader_task = None
         if self._jobs:
             await asyncio.gather(*list(self._jobs), return_exceptions=True)
+        if self._sender is not None:
+            await self._sender.drain()
+            self._sender.close()
+            self._sender = None
         if self._connection is not None:
             await self._connection.close()
             self._connection = None
@@ -205,11 +233,14 @@ class WorkerNode:
                 break
             kind = message["type"]
             if kind == "job":
-                task = asyncio.get_running_loop().create_task(
-                    self._run_job(message)
-                )
-                self._jobs.add(task)
-                task.add_done_callback(self._jobs.discard)
+                self._spawn_job(message)
+            elif kind == "jobs":
+                # Coalesced multi-job frame (wire v2): each entry is a
+                # complete job message; fan them out exactly as if they
+                # had arrived one frame apiece.
+                for entry in message.get("jobs") or ():
+                    if isinstance(entry, dict):
+                        self._spawn_job(entry)
             elif kind == "bye":
                 self._drained.set()
                 break
@@ -219,6 +250,11 @@ class WorkerNode:
                 continue  # router rejected one of our frames; nothing to do
         self._stopped.set()
         self._drained.set()
+
+    def _spawn_job(self, message: Dict[str, object]) -> None:
+        task = asyncio.get_running_loop().create_task(self._run_job(message))
+        self._jobs.add(task)
+        task.add_done_callback(self._jobs.discard)
 
     async def _run_job(self, message: Dict[str, object]) -> None:
         """Execute one placed job on the node's server, answer the router."""
@@ -232,8 +268,14 @@ class WorkerNode:
             deadline_ms = message.get("deadline_ms")
             deadline = None if deadline_ms is None else float(deadline_ms)  # type: ignore[arg-type]
             if kind == "pairs":
+                payload = message["payload"]
+                pairs = (
+                    payload.topairs()
+                    if isinstance(payload, PackedInts)
+                    else [(int(a), int(b)) for a, b in payload]  # type: ignore[union-attr]
+                )
                 response = await self.server.multiply_batch(
-                    [(int(a), int(b)) for a, b in message["payload"]],  # type: ignore[union-attr]
+                    pairs,
                     modulus=modulus,
                     tenant=tenant,
                     priority=priority,
@@ -263,20 +305,24 @@ class WorkerNode:
                 }
             )
             return
-        await self._answer(
-            {
-                "type": "result",
-                "id": job_id,
-                "values": [int(v) for v in response.values],
-                "kind": response.kind,
-                "backend": response.backend,
-                "modulus": response.modulus,
-                "batched_pairs": response.batched_pairs,
-                "modeled_cycles": response.modeled_cycles,
-                "latency_ms": response.latency_ms,
-                "queue_ms": response.queue_ms,
-            }
-        )
+        result = {
+            "type": "result",
+            "id": job_id,
+            "values": [int(v) for v in response.values],
+            "kind": response.kind,
+            "backend": response.backend,
+            "modulus": response.modulus,
+            "batched_pairs": response.batched_pairs,
+            "modeled_cycles": response.modeled_cycles,
+            "latency_ms": response.latency_ms,
+            "queue_ms": response.queue_ms,
+        }
+        # Results ride the coalescing sender so answers completing within
+        # one flush window travel as a single multi-result frame (v2).
+        if self._sender is not None and not self._sender.broken:
+            self._sender.enqueue(result)
+        else:
+            await self._answer(result)
 
     async def _answer(self, message: Dict[str, object]) -> None:
         if self._connection is None:
@@ -309,6 +355,7 @@ def run_worker(
     port: int,
     name: Optional[str] = None,
     pool_workers: int = 0,
+    wire: int = 2,
 ) -> None:
     """Run one worker node to completion (the sync CLI/subprocess entry).
 
@@ -318,7 +365,9 @@ def run_worker(
 
     async def _serve() -> None:
         node = WorkerNode(
-            host, port, WorkerConfig(name=name, pool_workers=pool_workers)
+            host,
+            port,
+            WorkerConfig(name=name, pool_workers=pool_workers, wire=wire),
         )
         await node.start()
         try:

@@ -103,6 +103,22 @@ class TestBackendsCommand:
         assert cache["hits"] == 1
         assert 0.0 <= cache["hit_rate"] <= 1.0
 
+    def test_json_exposes_compiled_kernel_cache_counters(self, capsys):
+        from repro.compiled import get_kernel, kernel_cache_stats
+
+        before = kernel_cache_stats()
+        get_kernel(997)
+        get_kernel(997)  # the second request is a cache hit
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cache = payload["compiled_kernel_cache"]
+        assert set(cache) >= {"resident", "builds", "hits"}
+        assert cache["resident"] >= 1
+        assert cache["builds"] >= before["builds"]
+        assert cache["hits"] >= before["hits"] + 1
+        # The payload mirrors the live counters, not a stale snapshot.
+        assert cache == kernel_cache_stats()
+
 
 class TestParser:
     def test_new_subcommands_parse(self):
