@@ -1,0 +1,254 @@
+"""HDL co-simulation agreement: event-driven RTL vs the modeled tiers.
+
+The exhibit behind experiment ``hdl-cosim`` (and ``repro hdl cosim``): for
+each bitwidth, run the same operand stream through the event-driven RTL
+simulator (:class:`~repro.hdl.eventsim.HdlModSRAM`), the cycle-accurate
+tier and the analytical tier, and check that products are bit-identical and
+the per-phase cycle reports agree field by field.  The paper's design point
+(256-bit, ``n/2`` schedule, 767 main-loop cycles) is always included, and
+the result records the co-simulation cost — simulator events per second and
+the slowdown against the cycle tier — so the price of the machine-checked
+cycle model is visible.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+from repro.modsram.analytical import AnalyticalModSRAM
+from repro.modsram.accelerator import ModSRAMAccelerator
+from repro.modsram.config import ModSRAMConfig, PAPER_CONFIG
+
+__all__ = ["HdlCosimRow", "HdlCosimResult", "reproduce_hdl_cosim"]
+
+
+@dataclass(frozen=True)
+class HdlCosimRow:
+    """Agreement + cost figures of one bitwidth's co-simulation run."""
+
+    bitwidth: int
+    cases: int
+    iterations: int
+    iteration_cycles: int
+    products_match: bool
+    cycles_match: bool
+    sim_events: int
+    events_per_second: float
+    hdl_seconds: float
+    cycle_seconds: float
+
+    @property
+    def slowdown(self) -> float:
+        """Wall-clock cost of the HDL tier relative to the cycle tier."""
+        if self.cycle_seconds <= 0.0:
+            return float("inf")
+        return self.hdl_seconds / self.cycle_seconds
+
+    def as_row(self) -> List[object]:
+        """One row of the agreement table."""
+        return [
+            self.bitwidth,
+            self.cases,
+            self.iteration_cycles,
+            "yes" if self.products_match else "NO",
+            "yes" if self.cycles_match else "NO",
+            self.sim_events,
+            round(self.events_per_second / 1e3, 1),
+            round(self.slowdown, 1),
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation."""
+        return {
+            "bitwidth": self.bitwidth,
+            "cases": self.cases,
+            "iterations": self.iterations,
+            "iteration_cycles": self.iteration_cycles,
+            "products_match": self.products_match,
+            "cycles_match": self.cycles_match,
+            "sim_events": self.sim_events,
+            "events_per_second": self.events_per_second,
+            "hdl_seconds": self.hdl_seconds,
+            "cycle_seconds": self.cycle_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HdlCosimRow":
+        """Rebuild a row from :meth:`to_dict` output."""
+        return cls(
+            bitwidth=int(data["bitwidth"]),
+            cases=int(data["cases"]),
+            iterations=int(data["iterations"]),
+            iteration_cycles=int(data["iteration_cycles"]),
+            products_match=bool(data["products_match"]),
+            cycles_match=bool(data["cycles_match"]),
+            sim_events=int(data["sim_events"]),
+            events_per_second=float(data["events_per_second"]),
+            hdl_seconds=float(data["hdl_seconds"]),
+            cycle_seconds=float(data["cycle_seconds"]),
+        )
+
+
+@dataclass(frozen=True)
+class HdlCosimResult:
+    """The full cycle-agreement sweep plus the paper-point check."""
+
+    rows: Tuple[HdlCosimRow, ...]
+    seed: int
+    #: Main-loop cycles measured from the RTL at the paper's design point.
+    paper_iteration_cycles: int
+
+    @property
+    def all_match(self) -> bool:
+        """Whether every bitwidth agreed on products and cycle reports."""
+        return all(row.products_match and row.cycles_match for row in self.rows)
+
+    @property
+    def paper_point_ok(self) -> bool:
+        """Whether the RTL reproduces the paper's 767 main-loop cycles."""
+        return self.paper_iteration_cycles == PAPER_CONFIG.expected_iteration_cycles
+
+    def render(self) -> str:
+        """Human-readable agreement table."""
+        table = render_table(
+            (
+                "bitwidth",
+                "cases",
+                "loop cycles",
+                "products",
+                "cycle report",
+                "sim events",
+                "kevents/s",
+                "slowdown vs cycle tier",
+            ),
+            [row.as_row() for row in self.rows],
+            title="HDL co-simulation vs modeled tiers",
+        )
+        verdict = "AGREE" if self.all_match else "DISAGREE"
+        paper = (
+            f"paper point (256b, n/2 schedule): measured "
+            f"{self.paper_iteration_cycles} main-loop cycles, expected "
+            f"{PAPER_CONFIG.expected_iteration_cycles} -> "
+            f"{'ok' if self.paper_point_ok else 'MISMATCH'}"
+        )
+        return f"{table}\n{paper}\nverdict: {verdict}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "rows": [row.to_dict() for row in self.rows],
+            "seed": self.seed,
+            "paper_iteration_cycles": self.paper_iteration_cycles,
+            "all_match": self.all_match,
+            "paper_point_ok": self.paper_point_ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HdlCosimResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        return cls(
+            rows=tuple(HdlCosimRow.from_dict(row) for row in data["rows"]),
+            seed=int(data["seed"]),
+            paper_iteration_cycles=int(data["paper_iteration_cycles"]),
+        )
+
+
+def _modulus_for(bitwidth: int, rng: random.Random) -> int:
+    """An odd modulus filling the macro's operand width."""
+    modulus = (1 << bitwidth) - rng.randrange(3, 1 << min(bitwidth - 2, 8))
+    return modulus | 1
+
+
+def _operands(
+    config: ModSRAMConfig, modulus: int, cases: int, rng: random.Random
+) -> List[Tuple[int, int]]:
+    """Random pairs plus the degenerate corners, within operand bounds."""
+    a_limit = modulus
+    if not config.extend_for_full_range:
+        a_limit = min(modulus, 1 << (2 * config.iterations - 1))
+    pairs = [(0, modulus - 1), (1, 1), (a_limit - 1, modulus - 1)]
+    while len(pairs) < cases:
+        pairs.append((rng.randrange(a_limit), rng.randrange(modulus)))
+    return pairs[: max(cases, 1)]
+
+
+def reproduce_hdl_cosim(
+    bitwidths: Sequence[int] = (16, 32, 64),
+    cases: int = 5,
+    seed: int = 2024,
+) -> HdlCosimResult:
+    """Run the co-simulation agreement sweep.
+
+    For every bitwidth the same operands go through the HDL, cycle and
+    analytical tiers; products must be bit-identical (and equal to the
+    big-integer oracle) and the three cycle reports equal field by field.
+    The paper design point is measured unconditionally at the end.
+    """
+    from repro.hdl.eventsim import HdlModSRAM
+
+    rng = random.Random(seed)
+    rows: List[HdlCosimRow] = []
+    for bitwidth in bitwidths:
+        config = ModSRAMConfig().with_bitwidth(int(bitwidth))
+        hdl = HdlModSRAM(config)
+        cycle = ModSRAMAccelerator(config)
+        analytical = AnalyticalModSRAM(config)
+        modulus = _modulus_for(int(bitwidth), rng)
+        pairs = _operands(config, modulus, cases, rng)
+
+        events_before = hdl.macro.sim.events
+        products_match = True
+        cycles_match = True
+        loop_cycles = config.expected_iteration_cycles
+        hdl_seconds = 0.0
+        cycle_seconds = 0.0
+        for a, b in pairs:
+            began = time.perf_counter()
+            hdl_result = hdl.multiply(a, b, modulus)
+            hdl_seconds += time.perf_counter() - began
+            began = time.perf_counter()
+            cycle_result = cycle.multiply(a, b, modulus)
+            cycle_seconds += time.perf_counter() - began
+            analytical_result = analytical.multiply(a, b, modulus)
+            oracle = (a * b) % modulus
+            if not (
+                hdl_result.product == cycle_result.product == oracle
+            ):
+                products_match = False
+            if not (
+                hdl_result.report.as_dict()
+                == cycle_result.report.as_dict()
+                == analytical_result.report.as_dict()
+            ):
+                cycles_match = False
+            loop_cycles = hdl_result.report.iteration_cycles
+        sim_events = hdl.macro.sim.events - events_before
+        rows.append(
+            HdlCosimRow(
+                bitwidth=int(bitwidth),
+                cases=len(pairs),
+                iterations=config.iterations,
+                iteration_cycles=loop_cycles,
+                products_match=products_match,
+                cycles_match=cycles_match,
+                sim_events=sim_events,
+                events_per_second=(
+                    sim_events / hdl_seconds if hdl_seconds > 0 else 0.0
+                ),
+                hdl_seconds=hdl_seconds,
+                cycle_seconds=cycle_seconds,
+            )
+        )
+
+    paper = HdlModSRAM(PAPER_CONFIG)
+    paper_modulus = _modulus_for(PAPER_CONFIG.bitwidth, rng)
+    a = rng.randrange(1 << (2 * PAPER_CONFIG.iterations - 1))
+    b = rng.randrange(paper_modulus)
+    paper_cycles = paper.multiply(a, b, paper_modulus).report.iteration_cycles
+    return HdlCosimResult(
+        rows=tuple(rows), seed=seed, paper_iteration_cycles=paper_cycles
+    )

@@ -21,6 +21,8 @@ ModSRAM model and the Table 3 PIM baselines — is reachable from the shell::
     python -m repro.cli cycles   [--bitwidth N]     # cycle model + comparison
     python -m repro.cli area     [--rows R] [--bitwidth N] [--technology NM]
     python -m repro.cli verify   [--bitwidth N] [--cases K]   # equivalence check
+    python -m repro.cli hdl emit  [--bitwidth N] [--out DIR] [--check]
+    python -m repro.cli hdl cosim [--quick] [--json]          # RTL agreement
 
 The same interface is reachable as ``python -m repro`` and as the
 ``repro`` console script.  The ``experiment`` subcommands drive the
@@ -505,6 +507,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--bitwidth", type=int, default=32)
     verify.add_argument("--cases", type=int, default=8)
+
+    hdl = subparsers.add_parser(
+        "hdl",
+        help="the RTL tier: emit the macro Verilog, run the co-simulation",
+    )
+    hdl_commands = hdl.add_subparsers(dest="hdl_command", required=True)
+
+    hdl_emit = hdl_commands.add_parser(
+        "emit",
+        help="elaborate the ModSRAM macro and write its Verilog "
+             "(deterministic; doubles as the golden-file gate)",
+    )
+    hdl_emit.add_argument(
+        "--bitwidth", type=int, default=256, help="operand width in bits"
+    )
+    hdl_emit.add_argument(
+        "--out", default="tests/hdl/golden", metavar="DIR",
+        help="directory the .v files are written to, or compared against "
+             "with --check (default: the golden directory)",
+    )
+    hdl_emit.add_argument(
+        "--check", action="store_true",
+        help="compare the emitted RTL against the files already in --out "
+             "instead of writing; exit 1 on drift",
+    )
+
+    hdl_cosim = hdl_commands.add_parser(
+        "cosim",
+        help="run the hdl-cosim experiment: event-driven RTL simulation "
+             "vs the cycle and analytical tiers",
+    )
+    hdl_cosim.add_argument(
+        "--quick", action="store_true", help="shrink the sweep for CI smoke"
+    )
+    hdl_cosim.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+    hdl_cosim.add_argument(
+        "--cases", type=int, default=None,
+        help="operand pairs per bitwidth (default: experiment default)",
+    )
+    hdl_cosim.add_argument(
+        "--seed", type=int, default=None, help="operand stream seed"
+    )
     return parser
 
 
@@ -1043,6 +1089,64 @@ def _command_verify(arguments: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _command_hdl(arguments: argparse.Namespace) -> int:
+    handlers = {
+        "emit": _command_hdl_emit,
+        "cosim": _command_hdl_cosim,
+    }
+    return handlers[arguments.hdl_command](arguments)
+
+
+def _command_hdl_emit(arguments: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.hdl import elaborate_macro, emit_design
+
+    config = ModSRAMConfig().with_bitwidth(arguments.bitwidth)
+    files = emit_design(elaborate_macro(config))
+    out = Path(arguments.out)
+    if arguments.check:
+        drifted = []
+        for name, text in sorted(files.items()):
+            path = out / name
+            if not path.is_file():
+                drifted.append(f"{path}: missing")
+            elif path.read_text() != text:
+                drifted.append(f"{path}: differs from freshly emitted RTL")
+        for line in drifted:
+            print(line)
+        if drifted:
+            print(f"hdl emit --check: {len(drifted)} file(s) drifted; "
+                  f"regenerate with: repro hdl emit --out {out}")
+            return 1
+        print(f"hdl emit --check: {len(files)} file(s) match {out}")
+        return 0
+    out.mkdir(parents=True, exist_ok=True)
+    for name, text in sorted(files.items()):
+        (out / name).write_text(text)
+        print(f"wrote {out / name}")
+    return 0
+
+
+def _command_hdl_cosim(arguments: argparse.Namespace) -> int:
+    from repro.experiments import get_experiment
+
+    definition = get_experiment("hdl-cosim")
+    params = dict(definition.defaults)
+    if arguments.quick:
+        params.update(definition.quick_overrides)
+    if arguments.cases is not None:
+        params["cases"] = arguments.cases
+    if arguments.seed is not None:
+        params["seed"] = arguments.seed
+    result = definition.execute(params)
+    if arguments.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+    return 0 if result.all_match and result.paper_point_ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -1060,6 +1164,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cycles": _command_cycles,
         "area": _command_area,
         "verify": _command_verify,
+        "hdl": _command_hdl,
     }
     try:
         return handlers[arguments.command](arguments)

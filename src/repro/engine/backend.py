@@ -336,12 +336,14 @@ def _build_default_backends() -> None:
     import repro.modsram.multiplier  # noqa: F401
     from repro.baselines.base import available_designs
     from repro.compiled.multiplier import CompiledBackend
+    from repro.hdl.multiplier import ModSRAMHdlBackend
 
     # Backends needing a richer adapter than the plain MultiplierBackend.
     special_backends = {
         "modsram": ModSRAMBackend,
         "modsram-fast": ModSRAMFastBackend,
         "modsram-chip": ModSRAMChipBackend,
+        "modsram-hdl": ModSRAMHdlBackend,
         "compiled": CompiledBackend,
     }
     for name in available_multipliers():

@@ -1,0 +1,949 @@
+"""Elaborate the R4CSA-LUT schedule into structural IR.
+
+This module walks the algorithm body of :mod:`repro.modsram.kernel` —
+load, LUT precompute, Booth/carry-save main loop, finalise — and builds the
+same schedule as explicit hardware: a controller FSM
+(``modsram_ctrl``), a datapath with the SRAM row array, the redundant
+sum/carry registers and the near-memory ALU (``modsram_datapath``), and a
+top-level macro (``modsram_macro``) wiring the two together, all
+parameterised by :class:`~repro.modsram.config.ModSRAMConfig` and placed
+per :class:`~repro.modsram.memory_map.MemoryMap`.
+
+The controller executes exactly the cycle budget of
+:class:`~repro.modsram.analytical.AnalyticalCostModel`:
+
+* ``LOAD`` — 6 cycles (five row writes, one multiplier read);
+* ``PRECOMPUTE`` — a 33-step microprogram (2 cycles per computed radix-4
+  entry, 2 per non-trivial overflow entry, one write per LUT row), skipped
+  entirely when ``skip_pc`` signals resident LUTs;
+* ``ITERATE`` — six sub-states per iteration (logic-SA radix-4 access, sum
+  and carry write-backs, overflow access, shifted sum/carry write-backs),
+  the final iteration eliding the carry write-back, each pathological
+  extra overflow fold inserting three sub-states;
+* ``FINALIZE`` — sum-row read, full add, then one conditional subtraction
+  per cycle until the result is below the modulus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.booth import RADIX4_ENCODER_TABLE
+from repro.hdl.ir import (
+    Assign,
+    BinOp,
+    Cat,
+    Const,
+    Expr,
+    FsmState,
+    Instance,
+    Memory,
+    MemRead,
+    MemWrite,
+    Module,
+    Mux,
+    Port,
+    Process,
+    Ref,
+    Reg,
+    SAssign,
+    SIf,
+    Slice,
+    Stmt,
+    UnOp,
+    Wire,
+)
+from repro.modsram.config import ModSRAMConfig
+from repro.modsram.memory_map import MemoryMap
+
+__all__ = ["MacroDesign", "elaborate_macro", "STATE_ENCODING"]
+
+#: Controller state encoding (3 bits), shared by ctrl, datapath and tests.
+STATE_ENCODING = {
+    "ST_IDLE": 0,
+    "ST_LOAD": 1,
+    "ST_PRECOMPUTE": 2,
+    "ST_ITERATE": 3,
+    "ST_FINALIZE": 4,
+    "ST_DONE": 5,
+}
+
+#: Iterate sub-state encoding (4 bits): radix-4 access, sum/carry
+#: write-backs, overflow access, extra-fold write-backs, shifted
+#: write-backs, final sum write-back.
+_IT_ENCODING = {
+    "IT_RAD": 0,
+    "IT_WS": 1,
+    "IT_WC": 2,
+    "IT_OVF": 3,
+    "IT_EWS": 4,
+    "IT_EWC": 5,
+    "IT_WS2": 6,
+    "IT_WC2": 7,
+    "IT_WSF": 8,
+}
+
+#: Finalise sub-state encoding (2 bits).
+_FIN_ENCODING = {"F_READ": 0, "F_ADD": 1, "F_SUB": 2}
+
+_STATE_W = 3
+_IT_W = 4
+_FIN_W = 2
+_LOAD_W = 3
+_PC_W = 6
+
+
+def _c(value: int, width: int) -> Const:
+    return Const(value, width)
+
+
+def _eq(a: Expr, b: Expr) -> BinOp:
+    return BinOp("eq", a, b)
+
+
+def _and(a: Expr, b: Expr) -> BinOp:
+    return BinOp("and", a, b)
+
+
+def _or(a: Expr, b: Expr) -> BinOp:
+    return BinOp("or", a, b)
+
+
+def _add(a: Expr, b: Expr) -> BinOp:
+    return BinOp("add", a, b)
+
+
+def _sub(a: Expr, b: Expr) -> BinOp:
+    return BinOp("sub", a, b)
+
+
+def _states(encoding: Dict[str, int], width: int) -> Tuple[FsmState, ...]:
+    return tuple(
+        FsmState(name, value, width) for name, value in encoding.items()
+    )
+
+
+def _build_controller(config: ModSRAMConfig) -> Module:
+    """The controller FSM: one reg per schedule counter, no datapath."""
+    iterations = config.iterations
+    iter_w = max(1, (iterations - 1).bit_length())
+    pc_last = 32  # the microprogram always has 33 steps (constant structure)
+
+    ports = (
+        Port("clk", 1, "in"),
+        Port("rst", 1, "in"),
+        Port("start", 1, "in"),
+        Port("skip_pc", 1, "in"),
+        Port("ovf_rem_zero", 1, "in"),
+        Port("fin_ge_p", 1, "in"),
+        Port("state", _STATE_W, "out"),
+        Port("load_step", _LOAD_W, "out"),
+        Port("pc_step", _PC_W, "out"),
+        Port("it_sub", _IT_W, "out"),
+        Port("fin_sub", _FIN_W, "out"),
+        Port("done", 1, "out"),
+        Port("extra_fold", 1, "out"),
+    )
+    regs = (
+        Reg("r_state", _STATE_W, STATE_ENCODING["ST_IDLE"]),
+        Reg("r_load", _LOAD_W),
+        Reg("r_pc", _PC_W),
+        Reg("r_it", _IT_W),
+        Reg("r_iter", iter_w),
+        Reg("r_fin", _FIN_W),
+    )
+    wires = (Wire("w_last", 1), Wire("w_in_ovf", 1))
+    fsm_states = _states(STATE_ENCODING, _STATE_W) + _states(
+        _IT_ENCODING, _IT_W
+    ) + _states(_FIN_ENCODING, _FIN_W)
+
+    assigns = (
+        Assign("state", Ref("r_state")),
+        Assign("load_step", Ref("r_load")),
+        Assign("pc_step", Ref("r_pc")),
+        Assign("it_sub", Ref("r_it")),
+        Assign("fin_sub", Ref("r_fin")),
+        Assign("w_last", _eq(Ref("r_iter"), _c(iterations - 1, iter_w))),
+        Assign("done", _eq(Ref("r_state"), Ref("ST_DONE"))),
+        Assign(
+            "w_in_ovf",
+            _and(
+                _eq(Ref("r_state"), Ref("ST_ITERATE")),
+                _eq(Ref("r_it"), Ref("IT_OVF")),
+            ),
+        ),
+        Assign(
+            "extra_fold",
+            _and(Ref("w_in_ovf"), UnOp("not", Ref("ovf_rem_zero"))),
+        ),
+    )
+
+    st = Ref("r_state")
+    it = Ref("r_it")
+    fin = Ref("r_fin")
+    body: Tuple[Stmt, ...] = (
+        SIf(
+            Ref("rst"),
+            (
+                SAssign("r_state", Ref("ST_IDLE")),
+                SAssign("r_load", _c(0, _LOAD_W)),
+                SAssign("r_pc", _c(0, _PC_W)),
+                SAssign("r_it", Ref("IT_RAD")),
+                SAssign("r_iter", _c(0, iter_w)),
+                SAssign("r_fin", Ref("F_READ")),
+            ),
+            (
+                SIf(
+                    _eq(st, Ref("ST_IDLE")),
+                    (
+                        SIf(
+                            Ref("start"),
+                            (
+                                SAssign("r_state", Ref("ST_LOAD")),
+                                SAssign("r_load", _c(0, _LOAD_W)),
+                                SAssign("r_pc", _c(0, _PC_W)),
+                                SAssign("r_it", Ref("IT_RAD")),
+                                SAssign("r_iter", _c(0, iter_w)),
+                                SAssign("r_fin", Ref("F_READ")),
+                            ),
+                        ),
+                    ),
+                ),
+                SIf(
+                    _eq(st, Ref("ST_LOAD")),
+                    (
+                        SIf(
+                            _eq(Ref("r_load"), _c(5, _LOAD_W)),
+                            (
+                                SAssign(
+                                    "r_state",
+                                    Mux(
+                                        Ref("skip_pc"),
+                                        Ref("ST_ITERATE"),
+                                        Ref("ST_PRECOMPUTE"),
+                                    ),
+                                ),
+                            ),
+                            (SAssign("r_load", _add(Ref("r_load"), _c(1, 1))),),
+                        ),
+                    ),
+                ),
+                SIf(
+                    _eq(st, Ref("ST_PRECOMPUTE")),
+                    (
+                        SIf(
+                            _eq(Ref("r_pc"), _c(pc_last, _PC_W)),
+                            (SAssign("r_state", Ref("ST_ITERATE")),),
+                            (SAssign("r_pc", _add(Ref("r_pc"), _c(1, 1))),),
+                        ),
+                    ),
+                ),
+                SIf(
+                    _eq(st, Ref("ST_ITERATE")),
+                    (
+                        SIf(_eq(it, Ref("IT_RAD")), (SAssign("r_it", Ref("IT_WS")),)),
+                        SIf(_eq(it, Ref("IT_WS")), (SAssign("r_it", Ref("IT_WC")),)),
+                        SIf(_eq(it, Ref("IT_WC")), (SAssign("r_it", Ref("IT_OVF")),)),
+                        SIf(
+                            _eq(it, Ref("IT_OVF")),
+                            (
+                                SIf(
+                                    Ref("ovf_rem_zero"),
+                                    (
+                                        SAssign(
+                                            "r_it",
+                                            Mux(
+                                                Ref("w_last"),
+                                                Ref("IT_WSF"),
+                                                Ref("IT_WS2"),
+                                            ),
+                                        ),
+                                    ),
+                                    (SAssign("r_it", Ref("IT_EWS")),),
+                                ),
+                            ),
+                        ),
+                        SIf(_eq(it, Ref("IT_EWS")), (SAssign("r_it", Ref("IT_EWC")),)),
+                        SIf(_eq(it, Ref("IT_EWC")), (SAssign("r_it", Ref("IT_OVF")),)),
+                        SIf(_eq(it, Ref("IT_WS2")), (SAssign("r_it", Ref("IT_WC2")),)),
+                        SIf(
+                            _eq(it, Ref("IT_WC2")),
+                            (
+                                SAssign("r_it", Ref("IT_RAD")),
+                                SAssign("r_iter", _add(Ref("r_iter"), _c(1, 1))),
+                            ),
+                        ),
+                        SIf(
+                            _eq(it, Ref("IT_WSF")),
+                            (
+                                SAssign("r_state", Ref("ST_FINALIZE")),
+                                SAssign("r_fin", Ref("F_READ")),
+                                SAssign("r_it", Ref("IT_RAD")),
+                            ),
+                        ),
+                    ),
+                ),
+                SIf(
+                    _eq(st, Ref("ST_FINALIZE")),
+                    (
+                        SIf(_eq(fin, Ref("F_READ")), (SAssign("r_fin", Ref("F_ADD")),)),
+                        SIf(
+                            _eq(fin, Ref("F_ADD")),
+                            (
+                                SIf(
+                                    Ref("fin_ge_p"),
+                                    (SAssign("r_fin", Ref("F_SUB")),),
+                                    (SAssign("r_state", Ref("ST_DONE")),),
+                                ),
+                            ),
+                        ),
+                        SIf(
+                            _eq(fin, Ref("F_SUB")),
+                            (
+                                SIf(
+                                    UnOp("not", Ref("fin_ge_p")),
+                                    (SAssign("r_state", Ref("ST_DONE")),),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+                SIf(
+                    _eq(st, Ref("ST_DONE")),
+                    (SAssign("r_state", Ref("ST_IDLE")),),
+                ),
+            ),
+        ),
+    )
+
+    module = Module(
+        name="modsram_ctrl",
+        ports=ports,
+        regs=regs,
+        wires=wires,
+        fsm_states=fsm_states,
+        assigns=assigns,
+        processes=(Process("ctrl_seq", body),),
+    )
+    module.validate()
+    return module
+
+
+# --------------------------------------------------------------------------- #
+# precompute microprogram
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _PcStep:
+    """One cycle of the LUT-fill microprogram."""
+
+    write_row: Optional[int]  # row written this cycle (None = compute cycle)
+    write_data: Optional[Expr]
+    updates: Tuple[Tuple[str, Expr], ...]  # register <= expr this cycle
+
+
+def _precompute_steps(config: ModSRAMConfig, mm: MemoryMap) -> List[_PcStep]:
+    """The 33-cycle LUT-fill schedule (same totals as the cost model).
+
+    Writes land in :data:`~repro.core.luts.RADIX4_DIGIT_ORDER` then
+    overflow-index order; each computed entry spends two near-memory ALU
+    cycles (operate, then conditionally correct into ``[0, p)``) before its
+    write, matching ``lut_fill_cycles`` = 2·3 + 2·7 + 13 = 33 exactly.
+    """
+    n = config.bitwidth
+    t_lo = Slice(Ref("pc_t"), n - 1, 0)
+    corr_lo = Slice(Ref("w_pc_corr"), n - 1, 0)
+    red_lo = Slice(Ref("w_red4"), n - 1, 0)
+    steps: List[_PcStep] = []
+
+    def compute(*updates: Tuple[str, Expr]) -> None:
+        steps.append(_PcStep(None, None, tuple(updates)))
+
+    def write(row: int, data: Expr, *updates: Tuple[str, Expr]) -> None:
+        steps.append(_PcStep(row, data, tuple(updates)))
+
+    # radix-4 LUT in digit order (0, +1, +2, -2, -1)
+    write(mm.radix4_row(0), _c(0, n))
+    write(mm.radix4_row(+1), Ref("b_reg"))
+    compute(("pc_t", Ref("w_pc_bb")))  # t = B + B
+    compute(("pc_t", Ref("w_pc_corr")), ("pc_b2", corr_lo))  # t = 2B mod p
+    write(mm.radix4_row(+2), t_lo)
+    compute(("pc_t", Ref("w_pc_pb2")))  # t = p - (2B mod p)
+    compute(("pc_t", Ref("w_pc_corr")))  # fold t == p to 0
+    write(mm.radix4_row(-2), t_lo)
+    compute(("pc_t", Ref("w_pc_pb")))  # t = p - B
+    compute(("pc_t", Ref("w_pc_corr")))
+    write(mm.radix4_row(-1), t_lo)
+
+    # overflow LUT: entry k holds k * 2^(n+1) mod p
+    overflow_rows = mm.overflow_rows
+    write(overflow_rows[0], _c(0, n))
+    compute(("pc_t", _c(1 << (n + 1), n + 2)))
+    compute(("pc_t", red_lo))  # 2^(n+1) mod p via the subtract chain
+    write(overflow_rows[1], t_lo, ("pc_o1", t_lo), ("pc_oprev", t_lo))
+    for index in range(2, len(overflow_rows)):
+        compute(("pc_t", Ref("w_pc_oo")))  # t = o_{k-1} + o_1
+        compute(("pc_t", Ref("w_pc_corr")))
+        write(overflow_rows[index], t_lo, ("pc_oprev", t_lo))
+    assert len(steps) == 33, f"microprogram has {len(steps)} steps, wanted 33"
+    return steps
+
+
+def _build_datapath(config: ModSRAMConfig, mm: MemoryMap) -> Module:
+    """The datapath: SRAM rows, redundant registers, near-memory ALU."""
+    n = config.bitwidth
+    rw = config.register_width  # n + 1
+    iterations = config.iterations
+    shreg_w = 2 * iterations + 1
+    rows = config.rows
+    aw = max(1, (rows - 1).bit_length())
+    pc_steps = _precompute_steps(config, mm)
+
+    ports = (
+        Port("clk", 1, "in"),
+        Port("rst", 1, "in"),
+        Port("op_a", n, "in"),
+        Port("op_b", n, "in"),
+        Port("op_p", n, "in"),
+        Port("state", _STATE_W, "in"),
+        Port("load_step", _LOAD_W, "in"),
+        Port("pc_step", _PC_W, "in"),
+        Port("it_sub", _IT_W, "in"),
+        Port("fin_sub", _FIN_W, "in"),
+        Port("ovf_rem_zero", 1, "out"),
+        Port("fin_ge_p", 1, "out"),
+        Port("product", n, "out"),
+    )
+    regs = (
+        Reg("b_reg", n),
+        Reg("p_reg", n),
+        Reg("mult_sh", shreg_w),
+        Reg("sum_ff", rw),
+        Reg("carry_ff", rw),
+        Reg("sum_msb", 1),
+        Reg("carry_msb", 1),
+        Reg("shift_ovf", 6),
+        Reg("pend", 1),
+        Reg("pend_acc", 4),
+        Reg("rem", 6),
+        Reg("sum_ovf2", 2),
+        Reg("pend_fin", 4),
+        Reg("pc_t", n + 2),
+        Reg("pc_b2", n),
+        Reg("pc_o1", n),
+        Reg("pc_oprev", n),
+        Reg("fin_sum", rw),
+        Reg("total", n + 6),
+    )
+    memories = (Memory("mem", n, rows),)
+    fsm_states = _states(STATE_ENCODING, _STATE_W) + _states(
+        _IT_ENCODING, _IT_W
+    ) + _states(_FIN_ENCODING, _FIN_W)
+
+    wires: List[Wire] = []
+    assigns: List[Assign] = []
+
+    def wire(name: str, width: int, expr: Expr) -> Ref:
+        wires.append(Wire(name, width))
+        assigns.append(Assign(name, expr))
+        return Ref(name)
+
+    # ---- operand-load write port ------------------------------------- #
+    ld = Ref("load_step")
+    wire(
+        "w_ld_data",
+        n,
+        Mux(
+            _eq(ld, _c(0, _LOAD_W)),
+            Ref("op_a"),
+            Mux(
+                _eq(ld, _c(1, _LOAD_W)),
+                Ref("op_b"),
+                Mux(_eq(ld, _c(2, _LOAD_W)), Ref("op_p"), _c(0, n)),
+            ),
+        ),
+    )
+    wire(
+        "w_ld_addr",
+        aw,
+        Mux(
+            _eq(ld, _c(0, _LOAD_W)),
+            _c(mm.multiplier_row, aw),
+            Mux(
+                _eq(ld, _c(1, _LOAD_W)),
+                _c(mm.multiplicand_row, aw),
+                Mux(
+                    _eq(ld, _c(2, _LOAD_W)),
+                    _c(mm.modulus_row, aw),
+                    Mux(
+                        _eq(ld, _c(3, _LOAD_W)),
+                        _c(mm.sum_row, aw),
+                        _c(mm.carry_row, aw),
+                    ),
+                ),
+            ),
+        ),
+    )
+    wire("w_ld_wen", 1, BinOp("lt", ld, _c(5, _LOAD_W)))
+
+    # ---- single-row read port ----------------------------------------- #
+    wire(
+        "w_raddr",
+        aw,
+        Mux(
+            _eq(Ref("state"), Ref("ST_LOAD")),
+            _c(mm.multiplier_row, aw),
+            _c(mm.sum_row, aw),
+        ),
+    )
+    rdata = wire("w_rdata", n, MemRead("mem", Ref("w_raddr")))
+    wire("w_ld_mult", shreg_w, BinOp("shl", rdata, _c(1, 1)))
+
+    # ---- Booth window -> radix-4 LUT row ------------------------------- #
+    wire("w_bw", 3, Slice(Ref("mult_sh"), shreg_w - 1, shreg_w - 3))
+    window_row: Expr = _c(mm.radix4_row(RADIX4_ENCODER_TABLE[(1, 1, 1)]), aw)
+    for value in range(6, -1, -1):
+        bits = ((value >> 2) & 1, (value >> 1) & 1, value & 1)
+        digit = RADIX4_ENCODER_TABLE[bits]
+        window_row = Mux(
+            _eq(Ref("w_bw"), _c(value, 3)),
+            _c(mm.radix4_row(digit), aw),
+            window_row,
+        )
+    wire("w_rad_addr", aw, window_row)
+
+    # ---- overflow fold address ----------------------------------------- #
+    overflow_base = mm.overflow_rows[0]
+    gt7 = wire("w_rem_gt7", 1, BinOp("gt", Ref("rem"), _c(7, 6)))
+    fold = wire("w_fold", 3, Mux(gt7, _c(7, 3), Slice(Ref("rem"), 2, 0)))
+    wire("w_ovf_addr", aw, _add(_c(overflow_base, aw), fold))
+    wire(
+        "w_imc_addr",
+        aw,
+        Mux(_eq(Ref("it_sub"), Ref("IT_RAD")), Ref("w_rad_addr"), Ref("w_ovf_addr")),
+    )
+
+    # ---- logic-SA access: XOR3 / MAJ over three rows ------------------- #
+    r0 = wire("w_r0", n, MemRead("mem", Ref("w_imc_addr")))
+    r1 = wire("w_r1", n, MemRead("mem", _c(mm.sum_row, aw)))
+    r2 = wire("w_r2", n, MemRead("mem", _c(mm.carry_row, aw)))
+    wire("w_xor_low", n, BinOp("xor", BinOp("xor", r0, r1), r2))
+    wire(
+        "w_maj_low",
+        n,
+        _or(_or(_and(r0, r1), _and(r0, r2)), _and(r1, r2)),
+    )
+    wire("w_xor_top", 1, BinOp("xor", Ref("sum_msb"), Ref("carry_msb")))
+    wire("w_maj_top", 1, _and(Ref("sum_msb"), Ref("carry_msb")))
+    wire("w_new_sum", rw, Cat((Ref("w_xor_top"), Ref("w_xor_low"))))
+    wire("w_maj_word", rw, Cat((Ref("w_maj_top"), Ref("w_maj_low"))))
+    wire("w_sh_carry", n + 2, BinOp("shl", Ref("w_maj_word"), _c(1, 1)))
+    esc = wire("w_esc", 1, Slice(Ref("w_sh_carry"), n + 1, n + 1))
+    wire("w_new_carry", rw, Slice(Ref("w_sh_carry"), n, 0))
+
+    # ---- overflow-index bookkeeping ------------------------------------ #
+    pend4 = wire("w_pend4", 3, BinOp("shl", Ref("pend"), _c(2, 2)))
+    wire("w_ovf_index", 6, _add(_add(Ref("shift_ovf"), esc), pend4))
+    assigns.append(Assign("ovf_rem_zero", UnOp("not", gt7)))
+    wire("w_rem_after", 6, _sub(Ref("rem"), fold))
+    wire("w_pend_acc_next", 4, _add(Ref("pend_acc"), esc))
+
+    # ---- shifted write-backs ------------------------------------------ #
+    wire("w_s_sh", n + 3, BinOp("shl", Ref("sum_ff"), _c(2, 2)))
+    wire("w_c_sh", n + 3, BinOp("shl", Ref("carry_ff"), _c(2, 2)))
+    s_ovf = wire("w_s_sh_ovf", 2, Slice(Ref("w_s_sh"), n + 2, n + 1))
+    c_ovf = wire("w_c_sh_ovf", 2, Slice(Ref("w_c_sh"), n + 2, n + 1))
+    pend_gt1 = wire("w_pend_gt1", 1, BinOp("gt", Ref("pend_acc"), _c(1, 4)))
+    pend_m1 = wire("w_pend_m1", 4, _sub(Ref("pend_acc"), _c(1, 1)))
+    pend_extra = wire(
+        "w_pend_extra",
+        6,
+        Mux(pend_gt1, BinOp("shl", pend_m1, _c(2, 2)), _c(0, 6)),
+    )
+    wire("w_shovf_next", 6, _add(_add(s_ovf, c_ovf), pend_extra))
+    wire("w_pend_next", 1, BinOp("ne", Ref("pend_acc"), _c(0, 4)))
+    wire("w_mult_sh2", shreg_w, BinOp("shl", Ref("mult_sh"), _c(2, 2)))
+
+    # ---- precompute ALU ------------------------------------------------ #
+    wire("w_pc_bb", n + 1, _add(Ref("b_reg"), Ref("b_reg")))
+    wire("w_pc_oo", n + 1, _add(Ref("pc_oprev"), Ref("pc_o1")))
+    wire("w_pc_pb", n + 1, _sub(Ref("p_reg"), Ref("b_reg")))
+    wire("w_pc_pb2", n + 1, _sub(Ref("p_reg"), Ref("pc_b2")))
+    wire(
+        "w_pc_corr",
+        n + 2,
+        Mux(
+            BinOp("ge", Ref("pc_t"), Ref("p_reg")),
+            _sub(Ref("pc_t"), Ref("p_reg")),
+            Ref("pc_t"),
+        ),
+    )
+    # conditional-subtract chain reducing 2^(n+1) below p (p >= 2^(n-3),
+    # enforced by validate_operands, so five stages suffice)
+    reduce_in: Ref = Ref("pc_t")
+    for stage, shift in enumerate((4, 3, 2, 1, 0)):
+        shifted_p = wire(
+            f"w_psh{shift}", n + 5, BinOp("shl", Ref("p_reg"), _c(shift, 3))
+        ) if shift else Ref("p_reg")
+        reduce_in = wire(
+            f"w_red{stage}",
+            n + 2,
+            Mux(
+                BinOp("ge", reduce_in, shifted_p),
+                _sub(reduce_in, shifted_p),
+                reduce_in,
+            ),
+        )
+
+    # precompute write port (microprogram-indexed)
+    pc = Ref("pc_step")
+    pc_wen: Expr = _c(0, 1)
+    pc_addr: Expr = _c(0, aw)
+    pc_data: Expr = _c(0, n)
+    for index in range(len(pc_steps) - 1, -1, -1):
+        step = pc_steps[index]
+        if step.write_row is None:
+            continue
+        is_step = _eq(pc, _c(index, _PC_W))
+        pc_wen = Mux(is_step, _c(1, 1), pc_wen)
+        pc_addr = Mux(is_step, _c(step.write_row, aw), pc_addr)
+        pc_data = Mux(is_step, step.write_data, pc_data)
+    wire("w_pc_wen", 1, pc_wen)
+    wire("w_pc_addr", aw, pc_addr)
+    wire("w_pc_data", n, pc_data)
+
+    # ---- iterate write port -------------------------------------------- #
+    it = Ref("it_sub")
+    carry12 = wire(
+        "w_it_carry",
+        1,
+        _or(
+            _or(_eq(it, Ref("IT_WC")), _eq(it, Ref("IT_EWC"))),
+            _eq(it, Ref("IT_WC2")),
+        ),
+    )
+    wire(
+        "w_it_wen",
+        1,
+        _and(
+            BinOp("ne", it, Ref("IT_RAD")),
+            BinOp("ne", it, Ref("IT_OVF")),
+        ),
+    )
+    wire(
+        "w_it_addr",
+        aw,
+        Mux(carry12, _c(mm.carry_row, aw), _c(mm.sum_row, aw)),
+    )
+    wire(
+        "w_it_data",
+        n,
+        Mux(
+            _eq(it, Ref("IT_WS2")),
+            Slice(Ref("w_s_sh"), n - 1, 0),
+            Mux(
+                _eq(it, Ref("IT_WC2")),
+                Slice(Ref("w_c_sh"), n - 1, 0),
+                Mux(
+                    carry12,
+                    Slice(Ref("carry_ff"), n - 1, 0),
+                    Slice(Ref("sum_ff"), n - 1, 0),
+                ),
+            ),
+        ),
+    )
+
+    # ---- merged write port --------------------------------------------- #
+    in_load = wire("w_in_load", 1, _eq(Ref("state"), Ref("ST_LOAD")))
+    in_pc = wire("w_in_pc", 1, _eq(Ref("state"), Ref("ST_PRECOMPUTE")))
+    in_it = wire("w_in_it", 1, _eq(Ref("state"), Ref("ST_ITERATE")))
+    wire(
+        "wen",
+        1,
+        _or(
+            _or(
+                _and(in_load, Ref("w_ld_wen")),
+                _and(in_pc, Ref("w_pc_wen")),
+            ),
+            _and(in_it, Ref("w_it_wen")),
+        ),
+    )
+    wire(
+        "waddr",
+        aw,
+        Mux(
+            in_load,
+            Ref("w_ld_addr"),
+            Mux(in_pc, Ref("w_pc_addr"), Ref("w_it_addr")),
+        ),
+    )
+    wire(
+        "wdata",
+        n,
+        Mux(
+            in_load,
+            Ref("w_ld_data"),
+            Mux(in_pc, Ref("w_pc_data"), Ref("w_it_data")),
+        ),
+    )
+
+    # ---- finalisation -------------------------------------------------- #
+    wire("w_pf_sh", n + 6, BinOp("shl", Ref("pend_fin"), _c(n + 1, 10)))
+    wire(
+        "w_fin_add",
+        n + 6,
+        _add(_add(Ref("fin_sum"), Ref("carry_ff")), Ref("w_pf_sh")),
+    )
+    wire("w_fin_subv", n + 6, _sub(Ref("total"), Ref("p_reg")))
+    wire(
+        "w_fin_next",
+        n + 6,
+        Mux(
+            _eq(Ref("fin_sub"), Ref("F_ADD")),
+            Ref("w_fin_add"),
+            Ref("w_fin_subv"),
+        ),
+    )
+    assigns.append(Assign("fin_ge_p", BinOp("ge", Ref("w_fin_next"), Ref("p_reg"))))
+    assigns.append(Assign("product", Slice(Ref("total"), n - 1, 0)))
+
+    # ---- sequential process -------------------------------------------- #
+    clear_flags = (
+        SAssign("sum_msb", _c(0, 1)),
+        SAssign("carry_msb", _c(0, 1)),
+        SAssign("shift_ovf", _c(0, 6)),
+        SAssign("pend", _c(0, 1)),
+        SAssign("pend_acc", _c(0, 4)),
+    )
+    pc_body: List[Stmt] = []
+    for index, step in enumerate(pc_steps):
+        if not step.updates:
+            continue
+        pc_body.append(
+            SIf(
+                _eq(pc, _c(index, _PC_W)),
+                tuple(SAssign(target, expr) for target, expr in step.updates),
+            )
+        )
+
+    body: Tuple[Stmt, ...] = (
+        SIf(
+            Ref("rst"),
+            clear_flags,
+            (
+                SIf(
+                    _eq(Ref("state"), Ref("ST_LOAD")),
+                    (
+                        SIf(_eq(ld, _c(1, _LOAD_W)), (SAssign("b_reg", Ref("op_b")),)),
+                        SIf(_eq(ld, _c(2, _LOAD_W)), (SAssign("p_reg", Ref("op_p")),)),
+                        SIf(
+                            _eq(ld, _c(5, _LOAD_W)),
+                            (SAssign("mult_sh", Ref("w_ld_mult")),) + clear_flags,
+                        ),
+                    ),
+                ),
+                SIf(_eq(Ref("state"), Ref("ST_PRECOMPUTE")), tuple(pc_body)),
+                SIf(
+                    _eq(Ref("state"), Ref("ST_ITERATE")),
+                    (
+                        SIf(
+                            _eq(it, Ref("IT_RAD")),
+                            (
+                                SAssign("sum_ff", Ref("w_new_sum")),
+                                SAssign("carry_ff", Ref("w_new_carry")),
+                                SAssign("rem", Ref("w_ovf_index")),
+                            ),
+                        ),
+                        SIf(
+                            _eq(it, Ref("IT_OVF")),
+                            (
+                                SAssign("sum_ff", Ref("w_new_sum")),
+                                SAssign("carry_ff", Ref("w_new_carry")),
+                                SAssign("pend_acc", Ref("w_pend_acc_next")),
+                                SAssign("rem", Ref("w_rem_after")),
+                            ),
+                        ),
+                        SIf(
+                            _or(_eq(it, Ref("IT_WS")), _eq(it, Ref("IT_EWS"))),
+                            (SAssign("sum_msb", Slice(Ref("sum_ff"), n, n)),),
+                        ),
+                        SIf(
+                            _or(_eq(it, Ref("IT_WC")), _eq(it, Ref("IT_EWC"))),
+                            (SAssign("carry_msb", Slice(Ref("carry_ff"), n, n)),),
+                        ),
+                        SIf(
+                            _eq(it, Ref("IT_WS2")),
+                            (
+                                SAssign("sum_msb", Slice(Ref("w_s_sh"), n, n)),
+                                SAssign("sum_ovf2", Ref("w_s_sh_ovf")),
+                            ),
+                        ),
+                        SIf(
+                            _eq(it, Ref("IT_WC2")),
+                            (
+                                SAssign("carry_msb", Slice(Ref("w_c_sh"), n, n)),
+                                SAssign("shift_ovf", Ref("w_shovf_next")),
+                                SAssign("pend", Ref("w_pend_next")),
+                                SAssign("pend_acc", _c(0, 4)),
+                                SAssign("mult_sh", Ref("w_mult_sh2")),
+                            ),
+                        ),
+                        SIf(
+                            _eq(it, Ref("IT_WSF")),
+                            (
+                                SAssign("sum_msb", Slice(Ref("sum_ff"), n, n)),
+                                SAssign("pend_fin", Ref("pend_acc")),
+                            ),
+                        ),
+                    ),
+                ),
+                SIf(
+                    _eq(Ref("state"), Ref("ST_FINALIZE")),
+                    (
+                        SIf(
+                            _eq(Ref("fin_sub"), Ref("F_READ")),
+                            (
+                                SAssign(
+                                    "fin_sum",
+                                    Cat((Ref("sum_msb"), Ref("w_rdata"))),
+                                ),
+                            ),
+                            (SAssign("total", Ref("w_fin_next")),),
+                        ),
+                    ),
+                ),
+                SIf(
+                    Ref("wen"),
+                    (MemWrite("mem", Ref("waddr"), Ref("wdata")),),
+                ),
+            ),
+        ),
+    )
+
+    module = Module(
+        name="modsram_datapath",
+        ports=ports,
+        regs=regs,
+        wires=tuple(wires),
+        memories=memories,
+        fsm_states=fsm_states,
+        assigns=tuple(assigns),
+        processes=(Process("dp_seq", body),),
+    )
+    module.validate()
+    return module
+
+
+def _build_top(config: ModSRAMConfig, ctrl: Module, datapath: Module) -> Module:
+    """The macro top level: controller + datapath, handshake pins out."""
+    n = config.bitwidth
+    ports = (
+        Port("clk", 1, "in"),
+        Port("rst", 1, "in"),
+        Port("start", 1, "in"),
+        Port("skip_pc", 1, "in"),
+        Port("op_a", n, "in"),
+        Port("op_b", n, "in"),
+        Port("op_p", n, "in"),
+        Port("product", n, "out"),
+        Port("done", 1, "out"),
+        Port("state", _STATE_W, "out"),
+        Port("extra_fold", 1, "out"),
+    )
+    wires = (
+        Wire("s_state", _STATE_W),
+        Wire("s_load", _LOAD_W),
+        Wire("s_pc", _PC_W),
+        Wire("s_it", _IT_W),
+        Wire("s_fin", _FIN_W),
+        Wire("s_rem_zero", 1),
+        Wire("s_ge", 1),
+        Wire("s_done", 1),
+        Wire("s_extra", 1),
+        Wire("s_product", n),
+    )
+    assigns = (
+        Assign("state", Ref("s_state")),
+        Assign("done", Ref("s_done")),
+        Assign("extra_fold", Ref("s_extra")),
+        Assign("product", Ref("s_product")),
+    )
+    instances = (
+        Instance(
+            ctrl,
+            "ctrl",
+            {
+                "clk": "clk",
+                "rst": "rst",
+                "start": "start",
+                "skip_pc": "skip_pc",
+                "ovf_rem_zero": "s_rem_zero",
+                "fin_ge_p": "s_ge",
+                "state": "s_state",
+                "load_step": "s_load",
+                "pc_step": "s_pc",
+                "it_sub": "s_it",
+                "fin_sub": "s_fin",
+                "done": "s_done",
+                "extra_fold": "s_extra",
+            },
+        ),
+        Instance(
+            datapath,
+            "dp",
+            {
+                "clk": "clk",
+                "rst": "rst",
+                "op_a": "op_a",
+                "op_b": "op_b",
+                "op_p": "op_p",
+                "state": "s_state",
+                "load_step": "s_load",
+                "pc_step": "s_pc",
+                "it_sub": "s_it",
+                "fin_sub": "s_fin",
+                "ovf_rem_zero": "s_rem_zero",
+                "fin_ge_p": "s_ge",
+                "product": "s_product",
+            },
+        ),
+    )
+    module = Module(
+        name="modsram_macro",
+        ports=ports,
+        wires=wires,
+        assigns=assigns,
+        instances=instances,
+    )
+    module.validate()
+    return module
+
+
+@dataclass(frozen=True)
+class MacroDesign:
+    """One elaborated macro: the module hierarchy plus its encodings."""
+
+    config: ModSRAMConfig
+    ctrl: Module
+    datapath: Module
+    top: Module
+
+    @property
+    def modules(self) -> Tuple[Module, ...]:
+        """Every module, leaves first (the Verilog emission order)."""
+        return (self.ctrl, self.datapath, self.top)
+
+    @property
+    def state_values(self) -> Dict[str, int]:
+        """Controller state name → encoded value (for testbenches)."""
+        return dict(STATE_ENCODING)
+
+
+def elaborate_macro(config: Optional[ModSRAMConfig] = None) -> MacroDesign:
+    """Elaborate one ModSRAM macro for a configuration (geometry-aware)."""
+    config = config or ModSRAMConfig()
+    mm = MemoryMap(config)
+    ctrl = _build_controller(config)
+    datapath = _build_datapath(config, mm)
+    top = _build_top(config, ctrl, datapath)
+    return MacroDesign(config=config, ctrl=ctrl, datapath=datapath, top=top)

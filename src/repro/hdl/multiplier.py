@@ -1,0 +1,79 @@
+"""The HDL co-simulation tier behind the multiplier/backend interfaces.
+
+``modsram-hdl`` runs every multiplication through the event-driven
+simulator over the elaborated RTL (:class:`~repro.hdl.eventsim.HdlModSRAM`)
+— the slowest tier, but the only one whose cycle reports are *measured from
+a structural hardware description* rather than modeled.  Products and
+per-phase cycle counts are asserted (by the parity test suite) to be
+identical to every other tier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.algorithms.base import register_multiplier
+from repro.engine.backend import MultiplierBackend
+from repro.errors import ConfigurationError
+from repro.hdl.eventsim import HdlModSRAM
+from repro.modsram.accelerator import ModSRAMAccelerator
+from repro.modsram.config import ModSRAMConfig
+from repro.modsram.multiplier import ModSRAMMultiplier, _config_for
+
+__all__ = ["ModSRAMHdlMultiplier", "ModSRAMHdlBackend"]
+
+
+@register_multiplier
+class ModSRAMHdlMultiplier(ModSRAMMultiplier):
+    """Runs every multiplication through the RTL event simulator."""
+
+    name = "modsram-hdl"
+    description = (
+        "HDL co-simulation tier: the elaborated ModSRAM RTL executed by the "
+        "event-driven simulator, cycle counts measured from the netlist."
+    )
+    direct_form = True
+
+    def __init__(self, config: Optional[ModSRAMConfig] = None) -> None:
+        super().__init__(config)
+        self._macros: Dict[int, HdlModSRAM] = {}
+
+    def macro_for(self, modulus: int) -> HdlModSRAM:
+        """Return (and cache) an elaborated macro sized for ``modulus``."""
+        config = _config_for(self._config, modulus)
+        key = config.bitwidth
+        if key not in self._macros:
+            self._macros[key] = HdlModSRAM(config)
+        return self._macros[key]
+
+    def accelerator_for(self, modulus: int) -> ModSRAMAccelerator:
+        raise ConfigurationError(
+            "the HDL tier has no cycle-level SRAM accelerator; use macro_for()"
+        )
+
+    def prepare(self, modulus: int) -> None:
+        """Elaborate and compile the macro for ``modulus`` eagerly."""
+        self.macro_for(modulus)
+
+    def _multiply(self, a: int, b: int, modulus: int) -> int:
+        macro = self.macro_for(modulus)
+        result = macro.multiply(a, b, modulus)
+        self.reports.append(result.report)
+        self._account(result.report)
+        return result.product
+
+
+class ModSRAMHdlBackend(MultiplierBackend):
+    """The HDL co-simulation tier (``modsram-hdl``) behind the Engine API.
+
+    Context creation elaborates the macro RTL for the modulus bitwidth and
+    compiles it for event-driven execution; the analytic ``cycles()`` model
+    (identical by construction, enforced by the parity suite) keeps backend
+    metadata queries cheap.
+    """
+
+    def __init__(self, config: Optional[ModSRAMConfig] = None) -> None:
+        kwargs = {"config": config} if config is not None else {}
+        super().__init__(
+            "modsram-hdl", kind="accelerator", info_fidelity="hdl", **kwargs
+        )

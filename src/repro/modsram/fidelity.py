@@ -13,6 +13,11 @@ execution tiers:
     The word-line-accurate model with the controller FSM, the logic-SA
     sense amplifiers and opt-in trace sinks.
     (:class:`~repro.modsram.accelerator.ModSRAMAccelerator`)
+``hdl``
+    Event-driven co-simulation of the elaborated RTL: the same schedule as
+    structural IR, executed by the :mod:`repro.hdl` event simulator with
+    delta-cycle settling and register semantics.
+    (:class:`~repro.hdl.eventsim.HdlModSRAM`)
 
 All three expose ``multiply(a, b, modulus)`` / ``multiply_many`` returning
 objects with a ``.product``; the analytical and cycle tiers additionally
@@ -40,6 +45,7 @@ class Fidelity(str, Enum):
     FUNCTIONAL = "functional"
     ANALYTICAL = "analytical"
     CYCLE = "cycle"
+    HDL = "hdl"
 
     @classmethod
     def coerce(cls, value: Union[str, "Fidelity"]) -> "Fidelity":
@@ -61,8 +67,22 @@ def build_simulator(
 ):
     """Instantiate the simulator for a fidelity tier (string or enum)."""
     tier = Fidelity.coerce(fidelity)
-    if tier is Fidelity.FUNCTIONAL:
-        return FunctionalModSRAM(config)
-    if tier is Fidelity.ANALYTICAL:
-        return AnalyticalModSRAM(config)
-    return ModSRAMAccelerator(config)
+    if tier is Fidelity.HDL:
+        # imported lazily: repro.hdl depends on repro.modsram, and eagerly
+        # importing it here would close an import cycle.
+        from repro.hdl.eventsim import HdlModSRAM
+
+        return HdlModSRAM(config)
+    builders = {
+        Fidelity.FUNCTIONAL: FunctionalModSRAM,
+        Fidelity.ANALYTICAL: AnalyticalModSRAM,
+        Fidelity.CYCLE: ModSRAMAccelerator,
+    }
+    try:
+        builder = builders[tier]
+    except KeyError:
+        raise ConfigurationError(
+            f"no simulator registered for fidelity {tier.value!r}; valid "
+            f"tiers are {sorted(member.value for member in Fidelity)}"
+        ) from None
+    return builder(config)

@@ -66,6 +66,30 @@ class TestRegistry:
             ModSRAMChipBackend(macros=0)
 
 
+class TestHdlBackend:
+    """The RTL co-simulation tier behind the Engine facade."""
+
+    MODULUS = 65521
+
+    def test_registered_with_hdl_fidelity(self):
+        assert "modsram-hdl" in available_backends()
+        info = get_backend("modsram-hdl").info
+        assert info.fidelity == "hdl"
+        assert info.kind == "accelerator"
+        assert info.has_cycle_model
+        assert info.as_dict()["fidelity"] == "hdl"
+
+    def test_products_and_modeled_cycles_match_cycle_backend(self, rng):
+        hdl = Engine(backend="modsram-hdl", modulus=self.MODULUS)
+        cycle = Engine(backend="modsram", modulus=self.MODULUS)
+        for _ in range(2):
+            a, b = rng.randrange(self.MODULUS), rng.randrange(self.MODULUS)
+            hdl_result = hdl.multiply(a, b)
+            cycle_result = cycle.multiply(a, b)
+            assert hdl_result.value == cycle_result.value == a * b % self.MODULUS
+            assert hdl_result.modeled_cycles == cycle_result.modeled_cycles
+
+
 class TestParityWithSingleMacro:
     """Acceptance: new backends agree with the single-macro modsram path."""
 

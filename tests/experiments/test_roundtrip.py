@@ -37,6 +37,7 @@ ROUND_TRIP_CASES = (
     ("chip-scaling", {}, True),
     ("chip-scaling", {"workload": "ntt", "vector_size": 512, "macro_counts": [1, 4]}, False),
     ("serving-throughput", {"backend": "montgomery"}, True),
+    ("hdl-cosim", {"bitwidths": [16], "cases": 2}, True),
 )
 
 

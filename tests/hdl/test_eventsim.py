@@ -1,0 +1,210 @@
+"""Event-driven simulator: delta settling, register semantics, the wheel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hdl.eventsim import EventSimulator
+from repro.hdl.ir import (
+    Assign,
+    BinOp,
+    Const,
+    HdlError,
+    Memory,
+    MemRead,
+    MemWrite,
+    Module,
+    Mux,
+    Port,
+    Process,
+    Reg,
+    Ref,
+    SAssign,
+    SIf,
+    Slice,
+    Wire,
+)
+
+
+def _counter() -> Module:
+    """A 4-bit counter with enable and synchronous clear."""
+    return Module(
+        name="counter",
+        ports=(
+            Port("clk", 1, "in"),
+            Port("enable", 1, "in"),
+            Port("clear", 1, "in"),
+            Port("count", 4, "out"),
+        ),
+        regs=(Reg("value", 4),),
+        wires=(Wire("next_value", 4),),
+        assigns=(
+            Assign("next_value", BinOp("add", Ref("value"), Const(1, 1))),
+            Assign("count", Ref("value")),
+        ),
+        processes=(
+            Process(
+                "seq",
+                (
+                    SIf(
+                        Ref("clear"),
+                        (SAssign("value", Const(0, 4)),),
+                        (
+                            SIf(
+                                Ref("enable"),
+                                (SAssign("value", Ref("next_value")),),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+class TestRegisterSemantics:
+    def test_counter_counts_only_when_enabled(self):
+        sim = EventSimulator(_counter())
+        assert sim.peek("count") == 0
+        sim.step(3)
+        assert sim.peek("count") == 0  # enable low
+        sim.poke("enable", 1)
+        sim.step(5)
+        assert sim.peek("count") == 5
+        sim.poke("enable", 0)
+        sim.step(2)
+        assert sim.peek("count") == 5
+
+    def test_counter_wraps_at_width(self):
+        sim = EventSimulator(_counter())
+        sim.poke("enable", 1)
+        sim.step(18)
+        assert sim.peek("count") == 2  # 18 mod 16
+
+    def test_synchronous_clear_wins(self):
+        sim = EventSimulator(_counter())
+        sim.poke("enable", 1)
+        sim.step(7)
+        sim.poke("clear", 1)
+        sim.step()
+        assert sim.peek("count") == 0
+
+    def test_event_wheel_pokes_at_cycle(self):
+        sim = EventSimulator(_counter())
+        sim.at(2, "enable", 1)
+        sim.at(6, "enable", 0)
+        sim.step(10)
+        assert sim.peek("count") == 4  # enabled for cycles 2..5
+
+    def test_process_reads_pre_edge_values(self):
+        # One step after enabling: the process saw the old count.
+        sim = EventSimulator(_counter())
+        sim.poke("enable", 1)
+        before = sim.peek("next_value")
+        sim.step()
+        assert sim.peek("count") == before
+
+
+class TestCombinationalSettling:
+    def test_chained_assigns_settle_out_of_order(self):
+        # Declared deliberately in reverse dependency order: the
+        # simulator must topologically sort, not trust declaration order.
+        module = Module(
+            name="chain",
+            ports=(Port("clk", 1, "in"), Port("x", 4, "in"), Port("y", 6, "out")),
+            wires=(Wire("c", 6), Wire("b", 5), Wire("a", 4)),
+            assigns=(
+                Assign("y", Ref("c")),
+                Assign("c", BinOp("add", Ref("b"), Const(1, 1))),
+                Assign("b", BinOp("add", Ref("a"), Const(1, 1))),
+                Assign("a", Ref("x")),
+            ),
+        )
+        sim = EventSimulator(module)
+        sim.poke("x", 5)
+        sim.settle()
+        assert sim.peek("y") == 7
+
+    def test_combinational_loop_is_rejected(self):
+        module = Module(
+            name="loop",
+            ports=(Port("clk", 1, "in"), Port("y", 1, "out")),
+            wires=(Wire("a", 1), Wire("b", 1)),
+            assigns=(
+                Assign("a", Ref("b")),
+                Assign("b", Ref("a")),
+                Assign("y", Ref("a")),
+            ),
+        )
+        with pytest.raises(HdlError, match="combinational loop"):
+            EventSimulator(module)
+
+    def test_mux_and_slice(self):
+        module = Module(
+            name="muxes",
+            ports=(
+                Port("clk", 1, "in"),
+                Port("sel", 1, "in"),
+                Port("x", 8, "in"),
+                Port("y", 4, "out"),
+            ),
+            wires=(Wire("hi", 4), Wire("lo", 4)),
+            assigns=(
+                Assign("hi", Slice(Ref("x"), 7, 4)),
+                Assign("lo", Slice(Ref("x"), 3, 0)),
+                Assign("y", Mux(Ref("sel"), Ref("hi"), Ref("lo"))),
+            ),
+        )
+        sim = EventSimulator(module)
+        sim.poke("x", 0xA5)
+        sim.settle()
+        assert sim.peek("y") == 0x5
+        sim.poke("sel", 1)
+        sim.settle()
+        assert sim.peek("y") == 0xA
+
+    def test_events_counter_advances(self):
+        sim = EventSimulator(_counter())
+        before = sim.events
+        sim.poke("enable", 1)
+        sim.step(3)
+        assert sim.events > before
+
+
+class TestMemory:
+    def test_memwrite_and_memread(self):
+        module = Module(
+            name="memtest",
+            ports=(
+                Port("clk", 1, "in"),
+                Port("wen", 1, "in"),
+                Port("addr", 2, "in"),
+                Port("data", 8, "in"),
+                Port("out", 8, "out"),
+            ),
+            memories=(Memory("mem", 8, 4),),
+            assigns=(Assign("out", MemRead("mem", Ref("addr"))),),
+            processes=(
+                Process(
+                    "seq",
+                    (SIf(Ref("wen"), (MemWrite("mem", Ref("addr"), Ref("data")),)),),
+                ),
+            ),
+        )
+        sim = EventSimulator(module)
+        sim.poke("wen", 1)
+        sim.poke("addr", 2)
+        sim.poke("data", 0x7E)
+        sim.step()
+        sim.poke("wen", 0)
+        sim.settle()
+        assert sim.peek("out") == 0x7E
+        assert sim.peek_memory("mem", 2) == 0x7E
+        assert sim.peek_memory("mem", 1) == 0
+
+    def test_run_until(self):
+        sim = EventSimulator(_counter())
+        sim.poke("enable", 1)
+        cycles = sim.run_until(lambda s: s.peek("count") == 9, max_cycles=32)
+        assert cycles <= 32
+        assert sim.peek("count") == 9

@@ -1,0 +1,221 @@
+"""Structural IR: width algebra, validation rules, flattening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hdl.ir import (
+    Assign,
+    BinOp,
+    Cat,
+    Const,
+    HdlError,
+    Instance,
+    Memory,
+    MemRead,
+    Module,
+    Mux,
+    Port,
+    Process,
+    Reg,
+    Ref,
+    SAssign,
+    Slice,
+    UnOp,
+    Wire,
+    expr_width,
+)
+
+WIDTHS = {"a": 8, "b": 8, "c": 1, "wide": 12}
+MEMS = {"mem": 16}
+
+
+class TestExprWidth:
+    """The width rules the emitter and simulator both rely on."""
+
+    @pytest.mark.parametrize(
+        "expr,width",
+        [
+            (Const(5, 4), 4),
+            (Ref("a"), 8),
+            (BinOp("add", Ref("a"), Ref("b")), 9),
+            (BinOp("sub", Ref("a"), Ref("b")), 8),
+            (BinOp("and", Ref("a"), Ref("wide")), 12),
+            (BinOp("shl", Ref("a"), Const(3, 2)), 11),
+            (BinOp("shr", Ref("wide"), Const(4, 3)), 12),
+            (BinOp("eq", Ref("a"), Ref("b")), 1),
+            (BinOp("lt", Ref("wide"), Const(9, 4)), 1),
+            (UnOp("not", Ref("wide")), 1),
+            (Mux(Ref("c"), Ref("a"), Ref("b")), 8),
+            (Slice(Ref("wide"), 7, 4), 4),
+            (Slice(Ref("a"), 0, 0), 1),
+            (Cat((Ref("c"), Ref("a"))), 9),
+            (MemRead("mem", Ref("a")), 16),
+        ],
+    )
+    def test_width(self, expr, width):
+        assert expr_width(expr, WIDTHS, MEMS) == width
+
+
+class TestDeclarationRules:
+    def test_const_must_fit(self):
+        with pytest.raises(HdlError, match="does not fit"):
+            Const(16, 4)
+
+    def test_reg_reset_must_fit(self):
+        with pytest.raises(HdlError, match="reset value does not fit"):
+            Reg("r", 2, reset=7)
+
+    def test_port_direction(self):
+        with pytest.raises(HdlError, match="direction"):
+            Port("p", 1, "inout")
+
+    def test_slice_bounds(self):
+        with pytest.raises(HdlError, match="bad slice"):
+            Slice(Ref("a"), 2, 5)
+
+
+def _module(**overrides) -> Module:
+    """A small valid module the negative tests perturb."""
+    fields = dict(
+        name="m",
+        ports=(
+            Port("clk", 1, "in"),
+            Port("d", 4, "in"),
+            Port("q", 4, "out"),
+        ),
+        regs=(Reg("r", 4),),
+        wires=(Wire("w", 4),),
+        assigns=(
+            Assign("w", BinOp("xor", Ref("d"), Ref("r"))),
+            Assign("q", Ref("r")),
+        ),
+        processes=(Process("seq", (SAssign("r", Ref("w")),)),),
+    )
+    fields.update(overrides)
+    return Module(**fields)
+
+
+class TestValidate:
+    def test_valid_module_passes(self):
+        _module().validate()
+
+    def test_duplicate_name(self):
+        module = _module(wires=(Wire("w", 4), Wire("w", 4)))
+        with pytest.raises(HdlError, match="duplicate signal name"):
+            module.validate()
+
+    def test_unknown_signal_in_assign(self):
+        module = _module(assigns=(Assign("w", Ref("ghost")), Assign("q", Ref("r"))))
+        with pytest.raises(HdlError, match="unknown signal 'ghost'"):
+            module.validate()
+
+    def test_assign_target_must_be_wire_or_output(self):
+        module = _module(
+            assigns=(
+                Assign("r", Ref("d")),
+                Assign("q", Ref("r")),
+            )
+        )
+        with pytest.raises(HdlError, match="not a.*wire or output"):
+            module.validate()
+
+    def test_wire_driven_once(self):
+        module = _module(
+            assigns=(
+                Assign("w", Ref("d")),
+                Assign("w", Ref("r")),
+                Assign("q", Ref("r")),
+            )
+        )
+        with pytest.raises(HdlError, match="driven more than once"):
+            module.validate()
+
+    def test_sequential_target_must_be_reg(self):
+        module = _module(
+            processes=(Process("seq", (SAssign("w", Ref("d")),)),),
+        )
+        with pytest.raises(HdlError, match="is not a reg"):
+            module.validate()
+
+    def test_reg_owned_by_one_process(self):
+        module = _module(
+            processes=(
+                Process("seq", (SAssign("r", Ref("w")),)),
+                Process("seq2", (SAssign("r", Ref("d")),)),
+            ),
+        )
+        with pytest.raises(HdlError, match="written from both"):
+            module.validate()
+
+    def test_shift_amount_must_be_constant(self):
+        module = _module(
+            assigns=(
+                Assign("w", BinOp("shl", Ref("d"), Ref("r"))),
+                Assign("q", Ref("r")),
+            )
+        )
+        with pytest.raises(HdlError, match="shift amounts must be constants"):
+            module.validate()
+
+    def test_instance_binding_width_mismatch(self):
+        child = Module(
+            name="child",
+            ports=(Port("clk", 1, "in"), Port("x", 8, "in"), Port("y", 8, "out")),
+            wires=(Wire("t", 8),),
+            assigns=(Assign("t", Ref("x")), Assign("y", Ref("t"))),
+        )
+        parent = Module(
+            name="parent",
+            ports=(Port("clk", 1, "in"), Port("q", 4, "out")),
+            wires=(Wire("narrow", 4),),
+            assigns=(Assign("q", Ref("narrow")),),
+            instances=(
+                Instance(child, "u0", {"clk": "clk", "x": "narrow", "y": "narrow"}),
+            ),
+        )
+        with pytest.raises(HdlError, match="width"):
+            parent.validate()
+
+    def test_instance_unbound_port(self):
+        child = Module(
+            name="child",
+            ports=(Port("clk", 1, "in"), Port("x", 4, "in")),
+        )
+        parent = Module(
+            name="parent",
+            ports=(Port("clk", 1, "in"),),
+            instances=(Instance(child, "u0", {"clk": "clk"}),),
+        )
+        with pytest.raises(HdlError, match="unbound"):
+            parent.validate()
+
+
+class TestFlatten:
+    def test_instance_signals_are_prefixed(self):
+        child = Module(
+            name="child",
+            ports=(Port("clk", 1, "in"), Port("x", 4, "in"), Port("y", 4, "out")),
+            regs=(Reg("state", 4),),
+            assigns=(Assign("y", Ref("state")),),
+            processes=(Process("seq", (SAssign("state", Ref("x")),)),),
+        )
+        parent = Module(
+            name="parent",
+            ports=(Port("clk", 1, "in"), Port("d", 4, "in"), Port("q", 4, "out")),
+            wires=(Wire("mid", 4),),
+            assigns=(Assign("q", Ref("mid")),),
+            instances=(Instance(child, "c0", {"clk": "clk", "x": "d", "y": "mid"}),),
+        )
+        parent.validate()
+        flat = parent.flatten()
+        flat.validate()
+        names = set(flat.signal_widths())
+        assert "u_c0__state" in names
+        assert not flat.instances
+
+    def test_memory_declaration(self):
+        memory = Memory("mem", 8, 16)
+        assert memory.width == 8 and memory.depth == 16
+        with pytest.raises(HdlError, match="width/depth"):
+            Memory("bad", 0, 16)

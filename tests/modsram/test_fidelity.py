@@ -226,5 +226,23 @@ class TestFidelitySelection:
         with pytest.raises(ConfigurationError, match="unknown fidelity"):
             build_simulator("rtl")
 
+    def test_unknown_fidelity_error_names_the_valid_tiers(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            build_simulator("netlist")
+        message = str(excinfo.value)
+        for tier in Fidelity:
+            assert tier.value in message
+
+    def test_hdl_tier_builds_the_event_driven_simulator(self):
+        from repro.hdl.eventsim import HdlModSRAM
+
+        config = ModSRAMConfig().with_bitwidth(16)
+        simulator = build_simulator("hdl", config)
+        assert isinstance(simulator, HdlModSRAM)
+        assert isinstance(build_simulator(Fidelity.HDL, config), HdlModSRAM)
+        result = simulator.multiply(123, 456, 65521)
+        assert result.product == 123 * 456 % 65521
+
     def test_coerce_accepts_mixed_case_strings(self):
         assert Fidelity.coerce("CYCLE") is Fidelity.CYCLE
+        assert Fidelity.coerce("hdl") is Fidelity.HDL

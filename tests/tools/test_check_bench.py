@@ -116,6 +116,20 @@ class TestValidator:
         errors = checker.check_file(str(path))
         assert any("expected number, got bool" in error for error in errors)
 
+    def test_hdl_agreement_regression_fails(self, checker, tmp_path):
+        """A cosim mismatch can never slip through the schema gate."""
+        payload = _synthesize(checker, checker.SCHEMAS["BENCH_hdl.json"])
+        payload["agreement"]["rows"][0]["cycles_match"] = False
+        path = tmp_path / "BENCH_hdl.json"
+        path.write_text(json.dumps(payload))
+        errors = checker.check_file(str(path))
+        assert any("cycles_match" in error for error in errors)
+        payload["agreement"]["rows"][0]["cycles_match"] = True
+        payload["paper_point"]["ok"] = False
+        path.write_text(json.dumps(payload))
+        errors = checker.check_file(str(path))
+        assert any("paper_point.ok" in error for error in errors)
+
     def test_unknown_artifact_name_fails(self, checker, tmp_path):
         path = tmp_path / "BENCH_mystery.json"
         path.write_text("{}")

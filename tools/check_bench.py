@@ -174,6 +174,40 @@ SCHEMAS = {
             "products_identical_across_wires": Value(True),
         },
     },
+    "BENCH_hdl.json": {
+        "benchmark": Value("hdl"),
+        "agreement": {
+            "seed": int,
+            "all_match": Value(True),
+            "rows": [
+                {
+                    "bitwidth": int,
+                    "cases": int,
+                    "iterations": int,
+                    "iteration_cycles": int,
+                    "products_match": Value(True),
+                    "cycles_match": Value(True),
+                    "sim_events": int,
+                    "events_per_second": NUMBER,
+                    "hdl_seconds": NUMBER,
+                    "cycle_seconds": NUMBER,
+                    "slowdown": NUMBER,
+                }
+            ],
+        },
+        "paper_point": {
+            "bitwidth": int,
+            "iteration_cycles": int,
+            "expected_iteration_cycles": int,
+            "ok": Value(True),
+        },
+        "simulator": {
+            "sim_events": int,
+            "events_per_second": NUMBER,
+            "slowdown_vs_cycle_tier": NUMBER,
+            "required_events_per_second": NUMBER,
+        },
+    },
     "BENCH_compiled.json": {
         "benchmark": Value("compiled"),
         "kernel": {

@@ -1,0 +1,350 @@
+#!/usr/bin/env python3
+"""Structural lint for the emitted ModSRAM Verilog.
+
+A pure-Python check (no external toolchain, so CI stays hermetic) over the
+subset of Verilog-2001 that :mod:`repro.hdl.verilog` emits:
+
+* balanced ``module``/``endmodule`` and ``begin``/``end`` blocks;
+* every identifier used in an expression is declared earlier in the file
+  (port, reg, wire, memory or localparam);
+* every ``reg`` is written by exactly one ``always`` block and every
+  ``wire`` (or output port) is driven by exactly one ``assign`` — or one
+  instance output connection;
+* instance connections name real ports of the instantiated module and
+  connect signals of the exact same bit-width (checked across all linted
+  files).
+
+Usage::
+
+    python tools/lint_verilog.py FILE.v [FILE.v ...]
+
+Exits non-zero and prints one line per finding if anything is wrong.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+_RE_MODULE = re.compile(rf"^\s*module\s+({_IDENT})\s*\(")
+_RE_ENDMODULE = re.compile(r"^\s*endmodule\b")
+_RE_PORT = re.compile(
+    rf"^\s*(input|output)\s+(wire|reg)\s*(\[(\d+):(\d+)\])?\s*({_IDENT})\s*[,)]?"
+)
+_RE_DECL = re.compile(
+    rf"^\s*(reg|wire)\s*(\[(\d+):(\d+)\])?\s*({_IDENT})\s*(\[0:(\d+)\])?\s*;"
+)
+_RE_LOCALPARAM = re.compile(
+    rf"^\s*localparam\s*(\[(\d+):(\d+)\])?\s*({_IDENT})\s*="
+)
+_RE_ASSIGN = re.compile(rf"^\s*assign\s+({_IDENT})\s*=\s*(.*);\s*$")
+_RE_ALWAYS = re.compile(r"^\s*always\s*@\s*\(\s*posedge\s+clk\s*\)")
+_RE_NB_ASSIGN = re.compile(rf"^\s*({_IDENT})\s*(\[[^\]]*\])?\s*<=")
+_RE_INSTANCE = re.compile(rf"^\s*({_IDENT})\s+({_IDENT})\s+\(\s*$")
+_RE_CONNECT = re.compile(rf"^\s*\.({_IDENT})\s*\(\s*({_IDENT})\s*\)\s*,?\s*$")
+_RE_LITERAL = re.compile(r"\d+\s*'\s*[bodh][0-9a-fA-F_xzXZ]+|\b\d+\b")
+_KEYWORDS = {
+    "begin", "end", "if", "else", "posedge", "negedge", "always", "assign",
+    "module", "endmodule", "input", "output", "wire", "reg", "localparam",
+}
+
+
+@dataclass
+class _ModuleInfo:
+    """Everything the lint learns about one module."""
+
+    name: str
+    file: str
+    ports: Dict[str, Tuple[str, int]] = field(default_factory=dict)  # dir, width
+    widths: Dict[str, int] = field(default_factory=dict)
+    memories: Dict[str, int] = field(default_factory=dict)  # name -> depth
+    declared_order: List[str] = field(default_factory=list)
+    assign_targets: List[Tuple[int, str]] = field(default_factory=list)
+    reg_writes: Dict[str, set] = field(default_factory=dict)  # name -> block ids
+    instances: List[Tuple[int, str, str, Dict[str, str]]] = field(
+        default_factory=list
+    )
+    regs: set = field(default_factory=set)
+    wires: set = field(default_factory=set)
+
+
+def _strip_comments(line: str) -> str:
+    return line.split("//", 1)[0]
+
+
+def _identifiers(expression: str) -> List[str]:
+    without_literals = _RE_LITERAL.sub(" ", expression)
+    return [
+        token
+        for token in re.findall(_IDENT, without_literals)
+        if token not in _KEYWORDS
+    ]
+
+
+def lint_file(path: Path) -> Tuple[List[str], List[_ModuleInfo]]:
+    """Lint one file; returns (findings, parsed module tables)."""
+    findings: List[str] = []
+    modules: List[_ModuleInfo] = []
+    current: Optional[_ModuleInfo] = None
+    begin_depth = 0
+    always_id = -1
+    in_always = False
+    pending_instance: Optional[Tuple[int, str, str, Dict[str, str]]] = None
+    in_header = False
+
+    def err(line_number: int, message: str) -> None:
+        findings.append(f"{path}:{line_number}: {message}")
+
+    for line_number, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = _strip_comments(raw)
+        if not line.strip():
+            continue
+
+        match = _RE_MODULE.match(line)
+        if match:
+            if current is not None:
+                err(line_number, "nested module declaration")
+            current = _ModuleInfo(match.group(1), str(path))
+            modules.append(current)
+            in_header = ");" not in line
+            continue
+        if current is None:
+            err(line_number, "content outside any module")
+            continue
+        if _RE_ENDMODULE.match(line):
+            if begin_depth:
+                err(line_number, f"endmodule with {begin_depth} open begin(s)")
+            current = None
+            continue
+
+        if in_header:
+            match = _RE_PORT.match(line)
+            if match:
+                direction, _, _, msb, _, name = match.groups()
+                width = int(msb) + 1 if msb is not None else 1
+                current.ports[name] = (direction, width)
+                current.widths[name] = width
+                current.declared_order.append(name)
+                if direction == "output":
+                    current.wires.add(name)
+            if ");" in line:
+                in_header = False
+            continue
+
+        match = _RE_LOCALPARAM.match(line)
+        if match:
+            _, msb, _, name = match.groups()
+            current.widths[name] = int(msb) + 1 if msb is not None else 1
+            current.declared_order.append(name)
+            continue
+
+        match = _RE_DECL.match(line)
+        if match:
+            kind, _, msb, _, name, mem, depth = match.groups()
+            width = int(msb) + 1 if msb is not None else 1
+            current.widths[name] = width
+            current.declared_order.append(name)
+            if mem:
+                current.memories[name] = int(depth) + 1
+            elif kind == "reg":
+                current.regs.add(name)
+            else:
+                current.wires.add(name)
+            continue
+
+        declared = set(current.widths)
+
+        match = _RE_ASSIGN.match(line)
+        if match:
+            target, expression = match.groups()
+            if target not in declared:
+                err(line_number, f"assign to undeclared signal {target!r}")
+            current.assign_targets.append((line_number, target))
+            for name in _identifiers(expression):
+                if name not in declared and name not in current.memories:
+                    err(line_number, f"use of undeclared identifier {name!r}")
+            continue
+
+        if _RE_ALWAYS.match(line):
+            always_id += 1
+            in_always = True
+            begin_depth += line.count("begin") - line.count("end")
+            continue
+
+        match = _RE_INSTANCE.match(line)
+        if match and not in_always:
+            pending_instance = (line_number, match.group(1), match.group(2), {})
+            current.instances.append(pending_instance)
+            continue
+        if pending_instance is not None:
+            match = _RE_CONNECT.match(line)
+            if match:
+                pending_instance[3][match.group(1)] = match.group(2)
+                continue
+            if line.strip() in (");", ")"):
+                pending_instance = None
+                continue
+
+        opened = line.count("begin")
+        closed = len(re.findall(r"\bend\b", line))
+        if in_always:
+            match = _RE_NB_ASSIGN.match(line)
+            if match:
+                target = match.group(1)
+                if target not in declared and target not in current.memories:
+                    err(
+                        line_number,
+                        f"nonblocking assign to undeclared {target!r}",
+                    )
+                current.reg_writes.setdefault(target, set()).add(always_id)
+            for name in _identifiers(line):
+                if name not in declared and name not in current.memories:
+                    err(line_number, f"use of undeclared identifier {name!r}")
+        begin_depth += opened - closed
+        if begin_depth < 0:
+            err(line_number, "more 'end' than 'begin'")
+            begin_depth = 0
+        if in_always and begin_depth == 0:
+            in_always = False
+
+    if current is not None:
+        findings.append(f"{path}: missing endmodule")
+    return findings, modules
+
+
+def _check_drivers(info: _ModuleInfo) -> List[str]:
+    findings: List[str] = []
+    driven: Dict[str, int] = {}
+    for line_number, target in info.assign_targets:
+        driven[target] = driven.get(target, 0) + 1
+        if driven[target] > 1:
+            findings.append(
+                f"{info.file}: {info.name}: wire {target!r} driven by "
+                "multiple assigns"
+            )
+        if target in info.regs:
+            findings.append(
+                f"{info.file}:{line_number}: {info.name}: continuous assign "
+                f"to reg {target!r}"
+            )
+    for name, blocks in info.reg_writes.items():
+        if name in info.memories:
+            continue
+        if name not in info.regs:
+            findings.append(
+                f"{info.file}: {info.name}: nonblocking assign to non-reg "
+                f"{name!r}"
+            )
+        if len(blocks) > 1:
+            findings.append(
+                f"{info.file}: {info.name}: reg {name!r} written from "
+                f"{len(blocks)} always blocks"
+            )
+    for name, (direction, _) in info.ports.items():
+        if direction != "output":
+            continue
+        instance_driven = any(
+            port_map.get(port) == name
+            for _, _, _, port_map in info.instances
+            for port in port_map
+        )
+        if name not in driven and not instance_driven:
+            findings.append(
+                f"{info.file}: {info.name}: output port {name!r} is never "
+                "driven"
+            )
+    return findings
+
+
+def _check_instances(
+    info: _ModuleInfo, registry: Dict[str, _ModuleInfo]
+) -> List[str]:
+    findings: List[str] = []
+    for line_number, module_name, instance_name, port_map in info.instances:
+        child = registry.get(module_name)
+        if child is None:
+            findings.append(
+                f"{info.file}:{line_number}: instance {instance_name!r} of "
+                f"unknown module {module_name!r}"
+            )
+            continue
+        for port in child.ports:
+            if port not in port_map:
+                findings.append(
+                    f"{info.file}:{line_number}: {instance_name}: port "
+                    f"{port!r} unconnected"
+                )
+        for port, signal in port_map.items():
+            if port not in child.ports:
+                findings.append(
+                    f"{info.file}:{line_number}: {instance_name}: no port "
+                    f"{port!r} on {module_name}"
+                )
+                continue
+            if signal not in info.widths:
+                findings.append(
+                    f"{info.file}:{line_number}: {instance_name}.{port}: "
+                    f"undeclared signal {signal!r}"
+                )
+                continue
+            expected = child.ports[port][1]
+            actual = info.widths[signal]
+            if expected != actual:
+                findings.append(
+                    f"{info.file}:{line_number}: {instance_name}.{port}: "
+                    f"width {expected} connected to {signal!r} "
+                    f"of width {actual}"
+                )
+    return findings
+
+
+def lint_files(paths: List[Path]) -> List[str]:
+    """Lint a set of files together (instances resolve across files)."""
+    findings: List[str] = []
+    registry: Dict[str, _ModuleInfo] = {}
+    parsed: List[_ModuleInfo] = []
+    for path in paths:
+        file_findings, modules = lint_file(path)
+        findings.extend(file_findings)
+        for info in modules:
+            if info.name in registry:
+                findings.append(
+                    f"{path}: duplicate module {info.name!r} (also in "
+                    f"{registry[info.name].file})"
+                )
+            registry[info.name] = info
+            parsed.append(info)
+    for info in parsed:
+        findings.extend(_check_drivers(info))
+        findings.extend(_check_instances(info, registry))
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="structural lint for emitted Verilog"
+    )
+    parser.add_argument("files", nargs="+", type=Path, help="Verilog files")
+    arguments = parser.parse_args(argv)
+    missing = [str(p) for p in arguments.files if not p.is_file()]
+    if missing:
+        print(f"lint_verilog: no such file: {', '.join(missing)}")
+        return 2
+    findings = lint_files(list(arguments.files))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_verilog: {len(findings)} finding(s)")
+        return 1
+    print(f"lint_verilog: {len(arguments.files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
