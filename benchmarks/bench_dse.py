@@ -1,0 +1,189 @@
+"""Design-space exploration: sweep throughput and cache, machine-readable.
+
+Emits ``BENCH_dse.json`` with three sections:
+
+1. **expansion** — how fast the declarative sweep spec expands into
+   validated design points, and that two expansions of the same spec
+   are identical (the determinism the runner cache keys rely on).
+2. **pool** — the default 640-point sweep evaluated twice through the
+   cached parallel :class:`~repro.experiments.Runner`: a cold run
+   against an empty cache directory, then a warm re-run that must be
+   served entirely from disk.  The asserted warm-over-cold speedup
+   floor is deliberately loose (process-pool startup dominates small
+   sweeps on a loaded CI runner); the artifact records the real ratio.
+3. **frontier** — Pareto accounting of the swept space: frontier size,
+   dominated-point count, and the objective set.  A sweep whose
+   frontier is empty (or is the whole space) means the cost model has
+   stopped trading anything off — both are asserted against.
+
+Run as a pytest benchmark (``pytest benchmarks/bench_dse.py``) or
+directly (``python benchmarks/bench_dse.py``); both write the JSON
+next to the repository root (override with ``BENCH_OUTPUT_DSE``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.dse import DEFAULT_OBJECTIVES, default_sweep_spec, run_dse
+from repro.experiments import Runner
+
+#: Floor on the warm-over-cold speedup.  Warm runs replay the sweep
+#: from the content-addressed disk cache (no pool, no evaluation); the
+#: observed ratio is ~10-20x, and 1.2 still catches a broken cache.
+REQUIRED_WARM_SPEEDUP = 1.2
+
+
+def _output_path() -> str:
+    override = os.environ.get("BENCH_OUTPUT_DSE")
+    if override:
+        return override
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(repo_root, "BENCH_dse.json")
+
+
+def collect_expansion(spec) -> dict:
+    started = time.perf_counter()
+    points = spec.expand()
+    elapsed = time.perf_counter() - started
+    replay = [point.to_params() for point in spec.expand()]
+    return {
+        "spec": spec.name,
+        "points": len(points),
+        "expand_seconds": elapsed,
+        "points_per_second": len(points) / elapsed if elapsed else 0.0,
+        "deterministic": [point.to_params() for point in points] == replay,
+    }
+
+
+def collect_pool_and_frontier(spec) -> dict:
+    cache_dir = tempfile.mkdtemp(prefix="bench-dse-")
+    try:
+        runner = Runner(cache_dir=cache_dir, parallel=True)
+        cold = run_dse(spec, runner=runner)
+        warm = run_dse(spec, runner=runner)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    warm_speedup = (
+        cold.elapsed_seconds / warm.elapsed_seconds
+        if warm.elapsed_seconds
+        else 0.0
+    )
+    return {
+        "pool": {
+            "workers": min(os.cpu_count() or 1, len(cold.points)),
+            "cpu_count": os.cpu_count() or 1,
+            "cold_seconds": cold.elapsed_seconds,
+            "warm_seconds": warm.elapsed_seconds,
+            "cold_points_per_second": cold.points_per_second,
+            "warm_points_per_second": warm.points_per_second,
+            "cold_cache_hits": cold.cache_hits,
+            "warm_cache_hits": warm.cache_hits,
+            "warm_speedup": warm_speedup,
+            "required_warm_speedup": REQUIRED_WARM_SPEEDUP,
+        },
+        "frontier": {
+            "size": len(cold.frontier),
+            "dominated": cold.dominated,
+            "swept_points": len(cold.points),
+            "objectives": [
+                {"metric": o.metric, "maximize": o.maximize}
+                for o in DEFAULT_OBJECTIVES
+            ],
+            "non_empty": bool(cold.frontier),
+        },
+    }
+
+
+def write_payload(payload: dict) -> str:
+    path = _output_path()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run_benchmark() -> dict:
+    spec = default_sweep_spec()
+    payload = {"benchmark": "dse", "expansion": collect_expansion(spec)}
+    payload.update(collect_pool_and_frontier(spec))
+    path = write_payload(payload)
+    payload["output"] = path
+    return payload
+
+
+#: One run shared by every test in the module (the sweep is the
+#: expensive part; the assertions are cheap).
+_PAYLOAD: dict = {}
+
+
+def _payload() -> dict:
+    if not _PAYLOAD:
+        _PAYLOAD.update(run_benchmark())
+    return _PAYLOAD
+
+
+def test_expansion_is_deterministic():
+    """Acceptance: the spec expands identically twice, and fast."""
+    expansion = _payload()["expansion"]
+    print(
+        f"expansion: {expansion['points']} points in "
+        f"{expansion['expand_seconds'] * 1000:.0f} ms "
+        f"({expansion['points_per_second']:.0f} points/s)"
+    )
+    assert expansion["points"] >= 500  # the issue's sweep-size floor
+    assert expansion["deterministic"]
+
+
+def test_warm_rerun_is_served_from_cache():
+    """Acceptance: the warm re-run hits the cache on every point."""
+    pool = _payload()["pool"]
+    print(
+        f"pool: cold {pool['cold_points_per_second']:.0f} points/s "
+        f"({pool['cold_cache_hits']} cached), warm "
+        f"{pool['warm_points_per_second']:.0f} points/s "
+        f"({pool['warm_cache_hits']} cached), "
+        f"{pool['warm_speedup']:.1f}x warm speedup"
+    )
+    assert pool["cold_cache_hits"] == 0
+    assert pool["warm_cache_hits"] == _payload()["expansion"]["points"]
+    assert pool["warm_speedup"] >= pool["required_warm_speedup"], (
+        f"expected >= {pool['required_warm_speedup']:.1f}x warm speedup, "
+        f"got {pool['warm_speedup']:.2f}x"
+    )
+
+
+def test_frontier_is_a_proper_subset():
+    """Acceptance: a non-empty frontier strictly inside the swept space."""
+    frontier = _payload()["frontier"]
+    print(
+        f"frontier: {frontier['size']} of {frontier['swept_points']} "
+        f"points ({frontier['dominated']} dominated)"
+    )
+    assert frontier["non_empty"]
+    assert 0 < frontier["size"] < frontier["swept_points"]
+    assert frontier["size"] + frontier["dominated"] == frontier["swept_points"]
+
+
+def test_artifact_matches_schema():
+    """The emitted JSON validates against tools/check_bench.py."""
+    import importlib.util
+
+    payload = _payload()
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", os.path.join(repo_root, "tools", "check_bench.py")
+    )
+    checker = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(checker)
+    errors = checker.check_file(payload["output"])
+    assert not errors, errors
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    print(json.dumps(result, indent=2))

@@ -131,7 +131,7 @@ from repro.engine import (
 )
 from repro.errors import ReproError
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "BackendInfo",

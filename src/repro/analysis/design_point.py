@@ -20,6 +20,7 @@ from repro.analysis.tables import render_table
 from repro.modsram.accelerator import ModSRAMAccelerator
 from repro.modsram.area import AreaModel
 from repro.modsram.config import ModSRAMConfig
+from repro.modsram.geometry import MacroGeometry
 
 __all__ = ["DesignPointResult", "reproduce_design_point"]
 
@@ -39,12 +40,18 @@ class DesignPointResult:
     area_mm2: float
     #: Modelled energy of one multiplication; ``None`` without a measured run.
     energy_pj: Optional[float]
+    #: Array width in bit lines (defaults to the operand width, as in the
+    #: paper's macro sizing).
+    columns: int = 0
+    #: Independently addressable sub-arrays (1 = the paper's design).
+    banks: int = 1
 
     def as_row(self) -> List[object]:
         """One table row for sweeps over bitwidth or technology."""
         return [
             self.bitwidth,
-            self.rows,
+            f"{self.rows}x{self.columns or self.bitwidth}"
+            + (f"/{self.banks}b" if self.banks != 1 else ""),
             f"{self.technology_nm} nm",
             self.iteration_cycles,
             round(self.frequency_mhz, 0),
@@ -58,7 +65,7 @@ class DesignPointResult:
         return render_table(
             (
                 "bitwidth",
-                "rows",
+                "geometry",
                 "tech",
                 "cycles",
                 "freq (MHz)",
@@ -76,6 +83,8 @@ class DesignPointResult:
         return {
             "bitwidth": self.bitwidth,
             "rows": self.rows,
+            "columns": self.columns,
+            "banks": self.banks,
             "technology_nm": self.technology_nm,
             "measured": self.measured,
             "iteration_cycles": self.iteration_cycles,
@@ -92,6 +101,8 @@ class DesignPointResult:
         return cls(
             bitwidth=int(data["bitwidth"]),
             rows=int(data["rows"]),
+            columns=int(data.get("columns", 0)),
+            banks=int(data.get("banks", 1)),
             technology_nm=int(data["technology_nm"]),
             measured=bool(data["measured"]),
             iteration_cycles=int(data["iteration_cycles"]),
@@ -106,9 +117,12 @@ def build_design_config(
     bitwidth: int = 256,
     rows: Optional[int] = None,
     technology_nm: int = 65,
+    columns: Optional[int] = None,
 ) -> ModSRAMConfig:
     """A paper-schedule configuration at the requested design point."""
-    config = ModSRAMConfig(extend_for_full_range=False).with_bitwidth(bitwidth)
+    config = ModSRAMConfig(extend_for_full_range=False).with_bitwidth(
+        bitwidth, columns=columns
+    )
     if rows is not None:
         config = replace(config, rows=rows)
     if technology_nm != config.technology_nm:
@@ -126,15 +140,26 @@ def reproduce_design_point(
     technology_nm: int = 65,
     measure: bool = True,
     seed: int = 5,
+    columns: Optional[int] = None,
+    banks: int = 1,
 ) -> DesignPointResult:
     """Evaluate one ModSRAM design point.
 
     ``measure=True`` runs a random multiplication through the cycle-accurate
     model (checked against the oracle) and reports the measured cycles,
     latency and energy; ``measure=False`` uses the scheduled cycle count and
-    skips the energy figure.
+    skips the energy figure.  ``columns``/``banks`` extend the sweepable
+    geometry (:class:`~repro.modsram.geometry.MacroGeometry`); banking
+    overlaps operand/LUT writes and leaves the main loop — the quantity
+    reported here — untouched, so measured runs stay valid at any bank
+    count.
     """
-    config = build_design_config(bitwidth, rows=rows, technology_nm=technology_nm)
+    config = build_design_config(
+        bitwidth, rows=rows, technology_nm=technology_nm, columns=columns
+    )
+    geometry = MacroGeometry(
+        rows=config.rows, columns=config.columns, banks=banks
+    )
     area_mm2 = AreaModel(config).total_mm2()
     if measure:
         rng = random.Random(seed)
@@ -158,6 +183,8 @@ def reproduce_design_point(
     return DesignPointResult(
         bitwidth=bitwidth,
         rows=config.rows,
+        columns=geometry.columns,
+        banks=geometry.banks,
         technology_nm=technology_nm,
         measured=measure,
         iteration_cycles=cycles,

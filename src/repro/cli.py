@@ -551,6 +551,67 @@ def build_parser() -> argparse.ArgumentParser:
     hdl_cosim.add_argument(
         "--seed", type=int, default=None, help="operand stream seed"
     )
+
+    dse = subparsers.add_parser(
+        "dse",
+        help="declarative design-space exploration with Pareto frontiers",
+    )
+    dse_commands = dse.add_subparsers(dest="dse_command", required=True)
+
+    dse_run = dse_commands.add_parser(
+        "run",
+        help="expand a sweep spec into design points, evaluate them "
+             "through the cached parallel runner and print the "
+             "throughput/energy/area Pareto frontier",
+    )
+    dse_run.add_argument(
+        "spec", nargs="?", default=None, metavar="SPEC",
+        help="sweep-spec file (JSON, or YAML when PyYAML is installed); "
+             "default: the built-in 640-point grid",
+    )
+    dse_run.add_argument(
+        "--quick", action="store_true",
+        help="shrink the grid to two values per axis (CI smoke)",
+    )
+    dse_run.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="keep only the first N values of every axis",
+    )
+    dse_run.add_argument(
+        "--workload-ops", type=int, default=None, metavar="N",
+        help="override the per-point workload stream length",
+    )
+    dse_run.add_argument(
+        "--parallel", action="store_true",
+        help="evaluate points across the process pool",
+    )
+    dse_run.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: cpu count)",
+    )
+    dse_run.add_argument(
+        "--json", action="store_true",
+        help="emit the full run result as JSON",
+    )
+    dse_run.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the run result JSON to PATH "
+             "(readable by 'repro dse frontier')",
+    )
+    _add_cache_options(dse_run)
+
+    dse_frontier = dse_commands.add_parser(
+        "frontier",
+        help="re-extract and print the Pareto frontier of a saved run",
+    )
+    dse_frontier.add_argument(
+        "input", metavar="RESULTS",
+        help="JSON file written by 'repro dse run --output'",
+    )
+    dse_frontier.add_argument(
+        "--json", action="store_true",
+        help="emit the frontier as JSON",
+    )
     return parser
 
 
@@ -1147,6 +1208,75 @@ def _command_hdl_cosim(arguments: argparse.Namespace) -> int:
     return 0 if result.all_match and result.paper_point_ok else 1
 
 
+def _command_dse(arguments: argparse.Namespace) -> int:
+    handlers = {
+        "run": _command_dse_run,
+        "frontier": _command_dse_frontier,
+    }
+    return handlers[arguments.dse_command](arguments)
+
+
+def _command_dse_run(arguments: argparse.Namespace) -> int:
+    from repro.dse import default_sweep_spec, load_spec, run_dse
+
+    spec = (
+        load_spec(arguments.spec)
+        if arguments.spec
+        else default_sweep_spec()
+    )
+    if arguments.workload_ops is not None:
+        spec = spec.with_fixed(workload_ops=arguments.workload_ops)
+    if arguments.sample:
+        spec = spec.quick(per_axis=arguments.sample)
+    runner = _make_runner(arguments, parallel=arguments.parallel)
+    result = run_dse(spec, runner, quick=arguments.quick)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+    if arguments.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+    return 0 if result.frontier else 1
+
+
+def _command_dse_frontier(arguments: argparse.Namespace) -> int:
+    from repro.dse import DseRunResult, pareto_frontier
+
+    try:
+        with open(arguments.input, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise ReproError(f"cannot read DSE results {arguments.input}: {error}")
+    run = DseRunResult.from_dict(data)
+    frontier = pareto_frontier([point.metrics() for point in run.points])
+    rebuilt = DseRunResult(
+        spec=run.spec,
+        points=run.points,
+        frontier=frontier,
+        dominated=len(run.points) - len(frontier),
+        cache_hits=run.cache_hits,
+        elapsed_seconds=run.elapsed_seconds,
+    )
+    if arguments.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "index": member.index,
+                        "objectives": dict(member.objectives),
+                        "dominates": member.dominates,
+                    }
+                    for member in frontier
+                ],
+                indent=2,
+            )
+        )
+    else:
+        print(rebuilt.render())
+    return 0 if frontier else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -1165,6 +1295,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "area": _command_area,
         "verify": _command_verify,
         "hdl": _command_hdl,
+        "dse": _command_dse,
     }
     try:
         return handlers[arguments.command](arguments)

@@ -1,0 +1,286 @@
+"""Evaluation of one design point: schedule, energy, area, verification.
+
+One :class:`~repro.dse.spec.DesignPoint` becomes one
+:class:`DsePointResult`: a deterministic workload stream is scheduled
+across the point's macros with the geometry-aware analytical cost algebra
+(:class:`~repro.modsram.chip.ChipScheduler`), the closed-form energy and
+area models price the design, and — when the point asks for ``cycle`` or
+``hdl`` fidelity — a seeded probe multiplication races the executable tier
+against the closed form and requires bit-identical products and
+field-by-field report agreement before the point is marked *verified*.
+
+This module is what the registered ``dse-point`` experiment runs, so every
+result is cacheable and JSON round-trippable.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Mapping
+
+from repro.analysis.design_point import build_design_config
+from repro.analysis.tables import render_table
+from repro.modsram.analytical import AnalyticalCostModel, AnalyticalModSRAM
+from repro.modsram.area import AreaModel
+from repro.modsram.chip import ChipSchedule, ChipScheduler, MultiplicationJob
+from repro.modsram.fidelity import build_simulator
+from repro.dse.spec import DesignPoint
+
+__all__ = ["DsePointResult", "evaluate_design_point"]
+
+
+def _round_robin(*streams: Iterable[MultiplicationJob]) -> Iterator[MultiplicationJob]:
+    """Interleave streams one job at a time until all are exhausted."""
+    iterators = [iter(stream) for stream in streams]
+    while iterators:
+        still_live = []
+        for iterator in iterators:
+            try:
+                yield next(iterator)
+            except StopIteration:
+                continue
+            still_live.append(iterator)
+        iterators = still_live
+
+
+def _fresh_stream(point: DesignPoint) -> Iterable[MultiplicationJob]:
+    from repro.ecc.streams import (
+        ecdsa_sign_stream,
+        scalar_multiplication_stream,
+    )
+    from repro.zkp.streams import msm_stream, ntt_stream
+
+    bits = point.bitwidth
+    if point.workload == "ecdsa-sign":
+        return ecdsa_sign_stream(bits, signatures=1)
+    if point.workload == "scalar-mult":
+        return scalar_multiplication_stream(bits)
+    if point.workload == "ntt":
+        return ntt_stream(256)
+    if point.workload == "msm":
+        return msm_stream(max(4, point.workload_ops // 8), scalar_bits=bits)
+    return _round_robin(
+        ecdsa_sign_stream(bits, signatures=1),
+        ntt_stream(256),
+        msm_stream(max(4, point.workload_ops // 16), scalar_bits=bits),
+    )
+
+
+def _workload_jobs(point: DesignPoint) -> List[MultiplicationJob]:
+    """Exactly ``workload_ops`` jobs, restarting the stream as needed."""
+    jobs: List[MultiplicationJob] = []
+    while len(jobs) < point.workload_ops:
+        before = len(jobs)
+        for job in _fresh_stream(point):
+            jobs.append(job)
+            if len(jobs) >= point.workload_ops:
+                break
+        if len(jobs) == before:  # pragma: no cover - empty stream guard
+            break
+    return jobs
+
+
+def _point_seed(point: DesignPoint) -> int:
+    """A deterministic per-point seed (stable across runs and machines)."""
+    canonical = repr(sorted(point.to_params().items()))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def _verify_probe(point: DesignPoint, config) -> None:
+    """Race one seeded multiply: executable tier vs closed form.
+
+    Products must match the big-int oracle and the cycle reports must
+    agree field by field — the cross-tier contract the parity test suite
+    pins down, applied at this point's geometry.
+    """
+    rng = random.Random(_point_seed(point))
+    modulus = (rng.getrandbits(point.bitwidth) | (1 << (point.bitwidth - 1))) | 1
+    # Paper schedule: the multiplier's top bit must be clear.
+    a = rng.randrange(modulus) >> 1
+    b = rng.randrange(modulus)
+    executable = build_simulator(point.fidelity, config)
+    analytical = AnalyticalModSRAM(config)
+    measured = executable.multiply(a, b, modulus)
+    closed = analytical.multiply(a, b, modulus)
+    oracle = (a * b) % modulus
+    if measured.product != oracle or closed.product != oracle:
+        raise AssertionError(
+            f"probe product mismatch at design point {point.to_params()}"
+        )
+    if measured.report.as_dict() != closed.report.as_dict():
+        raise AssertionError(
+            f"probe cycle-report mismatch at design point "
+            f"{point.to_params()}: {measured.report.as_dict()} != "
+            f"{closed.report.as_dict()}"
+        )
+
+
+@dataclass(frozen=True)
+class DsePointResult:
+    """Every metric of one evaluated design point (JSON round-trippable)."""
+
+    point: DesignPoint
+    #: ``True`` when an executable-tier probe verified the closed form.
+    verified: bool
+    jobs: int
+    makespan_cycles: int
+    lut_reuse_rate: float
+    utilization: float
+    frequency_mhz: float
+    #: Closed-form cycles of one cold (LUT-filling) multiplication.
+    cycles_per_op: int
+    latency_ms: float
+    throughput_mops: float
+    energy_pj_per_op: float
+    macro_area_mm2: float
+    area_mm2: float
+
+    def metrics(self) -> Dict[str, Any]:
+        """Flat metric mapping (what the Pareto extractor consumes)."""
+        return {
+            "throughput_mops": self.throughput_mops,
+            "energy_pj_per_op": self.energy_pj_per_op,
+            "area_mm2": self.area_mm2,
+            "makespan_cycles": self.makespan_cycles,
+            "lut_reuse_rate": self.lut_reuse_rate,
+            "utilization": self.utilization,
+            "cycles_per_op": self.cycles_per_op,
+        }
+
+    def as_row(self) -> List[object]:
+        """One row of a sweep table."""
+        point = self.point
+        return [
+            point.bitwidth,
+            f"{point.rows}x{point.resolved_columns()}"
+            + (f"/{point.banks}b" if point.banks != 1 else ""),
+            point.radix,
+            point.macros,
+            point.scheduler,
+            point.workload,
+            round(self.throughput_mops, 3),
+            round(self.energy_pj_per_op, 1),
+            round(self.area_mm2, 4),
+            f"{self.lut_reuse_rate:.2f}",
+            "yes" if self.verified else "-",
+        ]
+
+    @staticmethod
+    def table_header() -> List[str]:
+        """Column titles matching :meth:`as_row`."""
+        return [
+            "bits",
+            "geometry",
+            "radix",
+            "macros",
+            "scheduler",
+            "workload",
+            "thr (Mops)",
+            "pJ/op",
+            "mm^2",
+            "reuse",
+            "verified",
+        ]
+
+    def render(self) -> str:
+        """The point as a one-row text table."""
+        return render_table(
+            tuple(self.table_header()),
+            [self.as_row()],
+            title=f"DSE point ({self.point.fidelity})",
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        payload = dict(self.point.to_params())
+        payload.update(
+            {
+                "verified": self.verified,
+                "jobs": self.jobs,
+                "makespan_cycles": self.makespan_cycles,
+                "lut_reuse_rate": self.lut_reuse_rate,
+                "utilization": self.utilization,
+                "frequency_mhz": self.frequency_mhz,
+                "cycles_per_op": self.cycles_per_op,
+                "latency_ms": self.latency_ms,
+                "throughput_mops": self.throughput_mops,
+                "energy_pj_per_op": self.energy_pj_per_op,
+                "macro_area_mm2": self.macro_area_mm2,
+                "area_mm2": self.area_mm2,
+            }
+        )
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DsePointResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. loaded JSON)."""
+        point = DesignPoint.from_params(
+            {
+                key: value
+                for key, value in data.items()
+                if key in DesignPoint.__dataclass_fields__
+            }
+        )
+        return cls(
+            point=point,
+            verified=bool(data["verified"]),
+            jobs=int(data["jobs"]),
+            makespan_cycles=int(data["makespan_cycles"]),
+            lut_reuse_rate=float(data["lut_reuse_rate"]),
+            utilization=float(data["utilization"]),
+            frequency_mhz=float(data["frequency_mhz"]),
+            cycles_per_op=int(data["cycles_per_op"]),
+            latency_ms=float(data["latency_ms"]),
+            throughput_mops=float(data["throughput_mops"]),
+            energy_pj_per_op=float(data["energy_pj_per_op"]),
+            macro_area_mm2=float(data["macro_area_mm2"]),
+            area_mm2=float(data["area_mm2"]),
+        )
+
+
+def evaluate_design_point(point: DesignPoint) -> DsePointResult:
+    """Price one design point: throughput, energy/op, area, verification."""
+    geometry = point.geometry()
+    config = build_design_config(
+        point.bitwidth,
+        rows=point.rows,
+        technology_nm=point.technology_nm,
+        columns=point.resolved_columns(),
+    )
+    cost_model = AnalyticalCostModel(config, geometry)
+    scheduler = ChipScheduler(
+        macros=point.macros,
+        config=config,
+        geometry=geometry,
+        policy=point.scheduler,
+    )
+    jobs = _workload_jobs(point)
+    schedule: ChipSchedule = scheduler.schedule(jobs, operation=point.workload)
+
+    reuse = schedule.lut_reuse_rate
+    cold_pj = cost_model.energy(reused=False).total_pj
+    warm_pj = cost_model.energy(reused=True).total_pj
+    energy_pj_per_op = reuse * warm_pj + (1.0 - reuse) * cold_pj
+
+    macro_area = AreaModel(config).total_mm2()
+    verified = point.fidelity != "analytical"
+    if verified:
+        _verify_probe(point, config)
+
+    return DsePointResult(
+        point=point,
+        verified=verified,
+        jobs=schedule.jobs,
+        makespan_cycles=schedule.makespan_cycles,
+        lut_reuse_rate=reuse,
+        utilization=schedule.utilization,
+        frequency_mhz=config.frequency_mhz,
+        cycles_per_op=cost_model.total_cycles(),
+        latency_ms=schedule.latency_ms,
+        throughput_mops=schedule.throughput_mops,
+        energy_pj_per_op=energy_pj_per_op,
+        macro_area_mm2=macro_area,
+        area_mm2=macro_area * point.macros,
+    )

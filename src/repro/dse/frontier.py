@@ -1,0 +1,123 @@
+"""Pareto-frontier extraction over evaluated design points.
+
+The trade-off surface of the ModSRAM design space has three objectives:
+*throughput* (maximise), *energy per operation* (minimise) and the chip
+*area proxy* (minimise).  A point is *dominated* when another point is at
+least as good on every objective and strictly better on one; the frontier
+is the set of non-dominated points, and dominated-point accounting records
+how many points each survivor dominates (a useful density signal when a
+sweep has thousands of points and the frontier a dozen).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Objective", "FrontierPoint", "pareto_frontier", "DEFAULT_OBJECTIVES"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation axis: a metric name and a direction."""
+
+    metric: str
+    #: ``True`` to maximise the metric, ``False`` to minimise it.
+    maximize: bool = False
+
+    def oriented(self, value: float) -> float:
+        """The value on a uniform larger-is-better scale."""
+        return value if self.maximize else -value
+
+
+#: The throughput / energy / area trade-off the ``repro dse`` CLI reports.
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("throughput_mops", maximize=True),
+    Objective("energy_pj_per_op", maximize=False),
+    Objective("area_mm2", maximize=False),
+)
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated design point with its domination accounting."""
+
+    #: Index of the point in the evaluated sweep (expansion order).
+    index: int
+    #: Objective values, keyed by metric name.
+    objectives: Dict[str, float]
+    #: How many swept points this one dominates.
+    dominates: int
+
+
+def _objective_vector(
+    index: int, point: Mapping[str, Any], objectives: Sequence[Objective]
+) -> Tuple[float, ...]:
+    values = []
+    for objective in objectives:
+        if objective.metric not in point:
+            raise ConfigurationError(
+                f"design point {index} has no metric "
+                f"{objective.metric!r}; available: {sorted(point)}"
+            )
+        value = point[objective.metric]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"design point {index} metric {objective.metric!r} is not "
+                f"numeric: {value!r}"
+            )
+        values.append(objective.oriented(float(value)))
+    return tuple(values)
+
+
+def _dominates(a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
+    """Whether oriented vector ``a`` Pareto-dominates ``b``."""
+    return all(x >= y for x, y in zip(a, b)) and any(
+        x > y for x, y in zip(a, b)
+    )
+
+
+def pareto_frontier(
+    points: Sequence[Mapping[str, Any]],
+    objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+) -> List[FrontierPoint]:
+    """Non-dominated points of a sweep, with dominated-point accounting.
+
+    ``points`` are metric mappings (e.g. ``DsePointResult.to_dict()``);
+    the result lists frontier members in expansion order, each carrying
+    the count of swept points it dominates.  Duplicate objective vectors
+    are all kept (they dominate the same set and tie with each other).
+    """
+    if not objectives:
+        raise ConfigurationError("at least one objective is required")
+    vectors = [
+        _objective_vector(index, point, objectives)
+        for index, point in enumerate(points)
+    ]
+    frontier: List[FrontierPoint] = []
+    for index, vector in enumerate(vectors):
+        dominated_by_other = any(
+            _dominates(other, vector)
+            for other_index, other in enumerate(vectors)
+            if other_index != index
+        )
+        if dominated_by_other:
+            continue
+        dominates = sum(
+            1
+            for other_index, other in enumerate(vectors)
+            if other_index != index and _dominates(vector, other)
+        )
+        frontier.append(
+            FrontierPoint(
+                index=index,
+                objectives={
+                    objective.metric: float(points[index][objective.metric])
+                    for objective in objectives
+                },
+                dominates=dominates,
+            )
+        )
+    return frontier

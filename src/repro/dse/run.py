@@ -1,0 +1,178 @@
+"""Sweep orchestration: spec → runner pool → frontier.
+
+:func:`run_dse` expands a :class:`~repro.dse.spec.SweepSpec` into design
+points, runs each as one ``dse-point`` experiment through a
+:class:`~repro.experiments.Runner` (so points execute across the process
+pool and land in the content-addressed disk cache — a warm re-run of the
+same spec is served entirely from cache), then reduces the results into
+the throughput/energy/area Pareto frontier with dominated-point
+accounting.  The whole run is a :class:`DseRunResult`, which is also the
+payload of the registered ``dse`` experiment and of ``repro dse run``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.analysis.tables import render_table
+from repro.errors import ConfigurationError
+from repro.dse.evaluate import DsePointResult
+from repro.dse.frontier import (
+    DEFAULT_OBJECTIVES,
+    FrontierPoint,
+    pareto_frontier,
+)
+from repro.dse.spec import SweepSpec
+
+__all__ = ["DseRunResult", "run_dse"]
+
+
+@dataclass(frozen=True)
+class DseRunResult:
+    """One executed sweep: every point, the frontier, and pool accounting."""
+
+    spec: Dict[str, Any]
+    points: List[DsePointResult]
+    frontier: List[FrontierPoint]
+    #: Points some frontier member dominates (== points - frontier size
+    #: only when no two points tie on every objective).
+    dominated: int
+    cache_hits: int
+    elapsed_seconds: float
+
+    @property
+    def points_per_second(self) -> float:
+        """Evaluation rate through the runner (cache hits included)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return len(self.points) / self.elapsed_seconds
+
+    def frontier_rows(self) -> List[List[object]]:
+        """Frontier members as table rows (expansion order)."""
+        rows = []
+        for member in self.frontier:
+            result = self.points[member.index]
+            rows.append(
+                [member.index]
+                + result.as_row()[:9]
+                + [member.dominates]
+            )
+        return rows
+
+    def render(self) -> str:
+        """Sweep summary plus the frontier as a text table."""
+        name = self.spec.get("name", "sweep")
+        summary = (
+            f"sweep {name!r}: {len(self.points)} points "
+            f"({self.cache_hits} cached) in {self.elapsed_seconds:.2f}s "
+            f"({self.points_per_second:.0f} points/s); frontier "
+            f"{len(self.frontier)}, dominated {self.dominated}"
+        )
+        table = render_table(
+            tuple(
+                ["point"]
+                + DsePointResult.table_header()[:9]
+                + ["dominates"]
+            ),
+            self.frontier_rows(),
+            title="Pareto frontier (max throughput, min energy/op, min area)",
+        )
+        return summary + "\n\n" + table
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-clean representation (round-trips through :meth:`from_dict`)."""
+        return {
+            "spec": dict(self.spec),
+            "points": [point.to_dict() for point in self.points],
+            "frontier": [
+                {
+                    "index": member.index,
+                    "objectives": dict(member.objectives),
+                    "dominates": member.dominates,
+                }
+                for member in self.frontier
+            ],
+            "dominated": self.dominated,
+            "cache_hits": self.cache_hits,
+            "elapsed_seconds": self.elapsed_seconds,
+            "points_per_second": self.points_per_second,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DseRunResult":
+        """Rebuild a run from :meth:`to_dict` output (e.g. loaded JSON)."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"a DSE results document must be a mapping, "
+                f"got {type(data).__name__}"
+            )
+        required = (
+            "spec", "points", "frontier", "dominated", "cache_hits",
+            "elapsed_seconds",
+        )
+        missing = [key for key in required if key not in data]
+        if missing:
+            raise ConfigurationError(
+                f"DSE results document is missing {missing[0]!r} "
+                f"(expected the output of 'repro dse run --output/--json')"
+            )
+        return cls(
+            spec=dict(data["spec"]),
+            points=[
+                DsePointResult.from_dict(entry) for entry in data["points"]
+            ],
+            frontier=[
+                FrontierPoint(
+                    index=int(entry["index"]),
+                    objectives={
+                        key: float(value)
+                        for key, value in entry["objectives"].items()
+                    },
+                    dominates=int(entry["dominates"]),
+                )
+                for entry in data["frontier"]
+            ],
+            dominated=int(data["dominated"]),
+            cache_hits=int(data["cache_hits"]),
+            elapsed_seconds=float(data["elapsed_seconds"]),
+        )
+
+
+def run_dse(
+    spec: SweepSpec,
+    runner: Optional["Runner"] = None,
+    quick: bool = False,
+) -> DseRunResult:
+    """Expand a sweep spec and evaluate every point through the runner.
+
+    ``quick`` shrinks the grid to two values per axis (analytical probes
+    only) — the smoke-test path.  Each point is one cacheable
+    ``dse-point`` experiment, so re-running an already-swept spec is
+    served from the runner's disk cache.
+    """
+    from repro.experiments import ExperimentSpec, Runner
+
+    if quick:
+        spec = spec.quick()
+    if runner is None:
+        runner = Runner()
+    points = spec.expand()
+    started = time.perf_counter()
+    results = runner.run_specs(
+        [ExperimentSpec("dse-point", point.to_params()) for point in points]
+    )
+    elapsed = time.perf_counter() - started
+    evaluated = [DsePointResult.from_dict(entry.payload) for entry in results]
+    frontier = pareto_frontier(
+        [point.metrics() for point in evaluated], DEFAULT_OBJECTIVES
+    )
+    return DseRunResult(
+        spec=spec.to_dict(),
+        points=evaluated,
+        frontier=frontier,
+        dominated=len(evaluated) - len(frontier),
+        cache_hits=sum(1 for entry in results if entry.cache_hit),
+        elapsed_seconds=elapsed,
+    )

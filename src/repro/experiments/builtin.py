@@ -303,12 +303,14 @@ register_experiment(
         defaults={
             "bitwidth": 256,
             "rows": None,
+            "columns": None,
+            "banks": 1,
             "technology_nm": 65,
             "measure": True,
             "seed": 5,
         },
         quick_overrides={"measure": False},
-        sweep_axes=("bitwidth", "rows", "technology_nm"),
+        sweep_axes=("bitwidth", "rows", "columns", "banks", "technology_nm"),
     )
 )
 
@@ -335,6 +337,116 @@ register_experiment(
         sweep_axes=("bitwidths", "cases", "seed"),
         # events/sec and the slowdown column are wall-clock measurements
         # of this machine; replaying a cached timing would mislead.
+        cacheable=False,
+    )
+)
+
+
+def _run_dse_point(**params):
+    from repro.dse.evaluate import evaluate_design_point
+    from repro.dse.spec import DesignPoint
+
+    return evaluate_design_point(DesignPoint.from_params(params))
+
+
+def _serialize_dse_point(result):
+    return result.to_dict()
+
+
+def _deserialize_dse_point(payload):
+    from repro.dse.evaluate import DsePointResult
+
+    return DsePointResult.from_dict(payload)
+
+
+def _run_dse(spec=None, sample=0, parallel=False, workload_ops=None):
+    from repro.dse.run import run_dse
+    from repro.dse.spec import SweepSpec, default_sweep_spec
+    from repro.experiments.runner import Runner
+
+    sweep = SweepSpec.from_dict(spec) if spec else default_sweep_spec()
+    if workload_ops is not None:
+        sweep = sweep.with_fixed(workload_ops=int(workload_ops))
+    if sample:
+        sweep = sweep.quick(per_axis=int(sample))
+    return run_dse(sweep, Runner(parallel=bool(parallel)))
+
+
+def _serialize_dse(result):
+    return result.to_dict()
+
+
+def _deserialize_dse(payload):
+    from repro.dse.run import DseRunResult
+
+    return DseRunResult.from_dict(payload)
+
+
+register_experiment(
+    ExperimentDefinition(
+        name="dse-point",
+        title="DSE: evaluate one swept design point",
+        description=(
+            "Price one geometry/radix/macro-count/scheduler/workload "
+            "configuration with the geometry-aware analytical algebra "
+            "(throughput, energy/op, area), optionally verified against "
+            "the cycle or hdl tier by a seeded probe multiplication."
+        ),
+        run=_run_dse_point,
+        serialize=_serialize_dse_point,
+        deserialize=_deserialize_dse_point,
+        defaults={
+            "bitwidth": 256,
+            "rows": 64,
+            "columns": None,
+            "banks": 1,
+            "radix": 4,
+            "overflow_rows": 8,
+            "technology_nm": 65,
+            "macros": 1,
+            "scheduler": "lut-aware",
+            "workload": "ecdsa-sign",
+            "workload_ops": 512,
+            "fidelity": "analytical",
+        },
+        quick_overrides={"workload_ops": 128},
+        sweep_axes=(
+            "bitwidth",
+            "rows",
+            "columns",
+            "banks",
+            "radix",
+            "macros",
+            "scheduler",
+            "workload",
+        ),
+    )
+)
+
+register_experiment(
+    ExperimentDefinition(
+        name="dse",
+        title="DSE: full sweep with Pareto-frontier extraction",
+        description=(
+            "Expand a declarative sweep spec (default: the built-in "
+            "640-point grid) into design points, evaluate each as a "
+            "cached dse-point experiment through the runner, and extract "
+            "the throughput/energy/area Pareto frontier with "
+            "dominated-point accounting."
+        ),
+        run=_run_dse,
+        serialize=_serialize_dse,
+        deserialize=_deserialize_dse,
+        defaults={
+            "spec": None,
+            "sample": 0,
+            "parallel": False,
+            "workload_ops": None,
+        },
+        quick_overrides={"sample": 2, "workload_ops": 128},
+        sweep_axes=("sample",),
+        # points/sec is a wall-clock measurement of this machine; the
+        # per-point results underneath are cached, the aggregate is not.
         cacheable=False,
     )
 )

@@ -30,6 +30,7 @@ from repro.modsram.area import (
     AreaParameters,
 )
 from repro.modsram.chip import (
+    SCHEDULER_POLICIES,
     Chip,
     ChipGraphRun,
     ChipSchedule,
@@ -38,6 +39,7 @@ from repro.modsram.chip import (
     MultiplicationJob,
 )
 from repro.modsram.config import PAPER_CONFIG, ModSRAMConfig
+from repro.modsram.geometry import SUPPORTED_RADICES, MacroGeometry
 from repro.modsram.controller import Controller, ControllerState, CycleBudget
 from repro.modsram.datapath import DatapathStats, NearMemoryDatapath
 from repro.modsram.fidelity import Fidelity, build_simulator
@@ -74,6 +76,9 @@ __all__ = [
     "ChipSchedule",
     "ChipScheduler",
     "GraphSchedule",
+    "MacroGeometry",
+    "SCHEDULER_POLICIES",
+    "SUPPORTED_RADICES",
     "Controller",
     "ControllerState",
     "CycleBudget",

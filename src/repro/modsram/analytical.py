@@ -12,16 +12,22 @@ field in ``tests/modsram/test_fidelity.py``) at functional-tier speed.  The
 only quantities taken from the kernel run rather than closed form are the
 data-dependent ones: LUT reuse, pathological extra overflow folds and the
 final conditional-subtraction count.
+
+Geometry — array shape, banking, radix, LUT sizing — is a first-class
+constructor parameter (:class:`~repro.modsram.geometry.MacroGeometry`); the
+default geometry reproduces the paper's constants bit for bit, and the
+design-space exploration layer (:mod:`repro.dse`) sweeps it.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.modsram.config import ModSRAMConfig, RADIX4_LUT_ROWS
+from repro.errors import ConfigurationError
+from repro.modsram.config import ModSRAMConfig
 from repro.modsram.functional import FastHost
+from repro.modsram.geometry import MacroGeometry, _default_geometry
 from repro.modsram.kernel import run_kernel
-from repro.modsram.memory_map import MemoryMap
 from repro.modsram.report import CycleReport, MultiplicationResult
 from repro.modsram.trace import ExecutionTrace
 from repro.sram.energy import EnergyBreakdown
@@ -29,49 +35,79 @@ from repro.sram.stats import ArrayStats
 
 __all__ = ["AnalyticalCostModel", "AnalyticalModSRAM"]
 
-#: Radix-4 LUT entries that require near-memory computation (2B, -B, -2B);
-#: each costs two cycles (a modular add/subtract is two array-free cycles).
-_COMPUTED_RADIX4_ENTRIES = 3
+#: Row writes issued while loading operands (multiplicand, modulus, sum,
+#: carry clears, multiplier); the multiplier read-back costs one more cycle.
+_OPERAND_LOAD_WRITES = 5
 
 
 class AnalyticalCostModel:
-    """Closed-form per-phase cycle and access algebra of one macro."""
+    """Closed-form per-phase cycle and access algebra of one macro.
 
-    def __init__(self, config: Optional[ModSRAMConfig] = None) -> None:
+    ``geometry`` defaults to the shape the config implies (the paper's
+    single-bank radix-4 design), in which case every number below matches
+    the pre-geometry closed forms exactly.  A non-default geometry changes
+    the algebra — banked loads/fills, radix-scaled loop length and LUT
+    sizing — while the schedule structure stays the paper's.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ModSRAMConfig] = None,
+        geometry: Optional[MacroGeometry] = None,
+    ) -> None:
         self.config = config or ModSRAMConfig()
-        self._overflow_rows = len(MemoryMap(self.config).overflow_rows)
+        self.geometry = _default_geometry(self.config, geometry)
+        if self.geometry.columns < self.config.bitwidth:
+            raise ConfigurationError(
+                f"geometry field 'columns' must cover the operand width: "
+                f"columns={self.geometry.columns} < "
+                f"bitwidth={self.config.bitwidth}"
+            )
+        self._overflow_rows = self.geometry.overflow_rows
+
+    @property
+    def iterations(self) -> int:
+        """Main-loop iterations one multiplication takes at this geometry."""
+        return self.geometry.iterations(
+            self.config.bitwidth, self.config.extend_for_full_range
+        )
 
     # ------------------------------------------------------------------ #
     # cycle algebra (matches the controller budget exactly)
     # ------------------------------------------------------------------ #
     def load_cycles(self) -> int:
-        """Operand loading: five row writes plus the multiplier read."""
-        return 6
+        """Operand loading: five row writes (banked) plus the multiplier read."""
+        return self.geometry.write_burst_cycles(_OPERAND_LOAD_WRITES) + 1
 
     def lut_fill_cycles(self, reused: bool = False) -> int:
         """Full LUT precomputation for a fresh (multiplicand, modulus) pair.
 
-        Two cycles per computed radix-4 entry, two per non-trivial overflow
-        entry, plus one write per LUT word line.  Zero when the resident
-        tables are reused.
+        Two cycles per computed radix entry, two per non-trivial overflow
+        entry, plus the (banked) writes of every LUT word line.  Zero when
+        the resident tables are reused.
         """
         if reused:
             return 0
-        compute = 2 * _COMPUTED_RADIX4_ENTRIES + 2 * (self._overflow_rows - 1)
-        writes = RADIX4_LUT_ROWS + self._overflow_rows
-        return compute + writes
+        compute = 2 * self.geometry.computed_radix_entries + 2 * (
+            self._overflow_rows - 1
+        )
+        writes = self.geometry.radix_rows + self._overflow_rows
+        return compute + self.geometry.write_burst_cycles(writes)
 
     def radix4_refill_cycles(self) -> int:
-        """Refilling only the radix-4 rows (modulus unchanged): 5 writes + 6."""
-        return RADIX4_LUT_ROWS + 2 * _COMPUTED_RADIX4_ENTRIES
+        """Refilling only the multiple rows (modulus unchanged)."""
+        return self.geometry.write_burst_cycles(
+            self.geometry.radix_rows
+        ) + 2 * self.geometry.computed_radix_entries
 
     def iteration_cycles(self, extra_folds: int = 0) -> int:
         """Main loop: six cycles per iteration, last carry write-back elided.
 
         Each pathological extra overflow fold costs three more cycles (two
-        write-backs plus one additional logic-SA access).
+        write-backs plus one additional logic-SA access).  The recurrence
+        is serial, so banking does not shorten it.
         """
-        return 6 * self.config.iterations - 1 + 3 * extra_folds
+        return 6 * self.iterations - 1 + 3 * extra_folds
 
     def finalize_cycles(self, subtractions: int = 1) -> int:
         """Finalisation: sum read, full addition, then the reduction steps."""
@@ -99,7 +135,7 @@ class AnalyticalCostModel:
     ) -> CycleReport:
         """The :class:`CycleReport` the cycle-accurate tier would measure."""
         return CycleReport(
-            iterations=self.config.iterations,
+            iterations=self.iterations,
             load_cycles=self.load_cycles(),
             precompute_cycles=self.lut_fill_cycles(reused),
             iteration_cycles=self.iteration_cycles(extra_folds),
@@ -118,12 +154,24 @@ class AnalyticalCostModel:
         """The :class:`ArrayStats` profile one multiplication implies.
 
         This is the closed-form counterpart of what the behavioural array
-        collects: the energy model consumes either interchangeably.
+        collects: the energy model consumes either interchangeably.  These
+        are access *counts*, not cycles — banking overlaps writes in time
+        but every bit still toggles, so the profile is bank-invariant.
         """
-        iterations = self.config.iterations
-        columns = self.config.columns
-        lut_writes = 0 if reused else RADIX4_LUT_ROWS + self._overflow_rows
-        row_writes = 5 + lut_writes + 4 * iterations - 1 + 2 * extra_folds
+        iterations = self.iterations
+        columns = self.geometry.columns
+        lut_writes = (
+            0
+            if reused
+            else self.geometry.radix_rows + self._overflow_rows
+        )
+        row_writes = (
+            _OPERAND_LOAD_WRITES
+            + lut_writes
+            + 4 * iterations
+            - 1
+            + 2 * extra_folds
+        )
         compute_reads = 2 * iterations + extra_folds
         row_reads = 2 + compute_reads  # multiplier load + finalisation read
         return ArrayStats(
@@ -149,11 +197,29 @@ class AnalyticalCostModel:
 
 
 class AnalyticalModSRAM:
-    """Kernel-exact products with closed-form cycle and energy reports."""
+    """Kernel-exact products with closed-form cycle and energy reports.
 
-    def __init__(self, config: Optional[ModSRAMConfig] = None) -> None:
-        self.config = config or ModSRAMConfig()
-        self.cost_model = AnalyticalCostModel(self.config)
+    The executable kernel implements the radix-4 single-digit recurrence,
+    so only radix-4 geometries can run here; other radices are closed-form
+    only (:class:`AnalyticalCostModel` directly).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ModSRAMConfig] = None,
+        geometry: Optional[MacroGeometry] = None,
+    ) -> None:
+        base = config or ModSRAMConfig()
+        if geometry is not None:
+            if geometry.radix != 4:
+                raise ConfigurationError(
+                    f"the executable kernel is radix-4; geometry field "
+                    f"'radix' = {geometry.radix} is closed-form only "
+                    f"(use AnalyticalCostModel)"
+                )
+            base = geometry.apply_to(base)
+        self.config = base
+        self.cost_model = AnalyticalCostModel(self.config, geometry)
         self.host = FastHost(self.config)
 
     @property
@@ -184,7 +250,7 @@ class AnalyticalModSRAM:
 
     def expected_iteration_cycles(self) -> int:
         """The analytic main-loop cycle count for this configuration."""
-        return self.config.expected_iteration_cycles
+        return self.cost_model.iteration_cycles()
 
     def energy_report(self) -> EnergyBreakdown:
         """Energy implied by every access performed so far (cumulative)."""

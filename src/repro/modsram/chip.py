@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 from repro.errors import ConfigurationError
 from repro.modsram.analytical import AnalyticalCostModel, AnalyticalModSRAM
 from repro.modsram.config import ModSRAMConfig
+from repro.modsram.geometry import MacroGeometry
 from repro.modsram.report import MultiplicationResult
 from repro.sram.stats import ArrayStats
 
@@ -41,7 +42,14 @@ __all__ = [
     "GraphSchedule",
     "ChipGraphRun",
     "Chip",
+    "SCHEDULER_POLICIES",
 ]
+
+#: Flat-stream placement policies the chip scheduler implements.
+#: ``lut-aware`` is the paper-motivated finish-time-greedy rule;
+#: ``round-robin`` is the residency-blind baseline the DSE sweeps use to
+#: quantify what LUT-aware placement buys at each design point.
+SCHEDULER_POLICIES = ("lut-aware", "round-robin")
 
 
 @dataclass(frozen=True)
@@ -315,27 +323,60 @@ def _dispatch_graph(
 
 
 class _PlacementState:
-    """Finish-time-greedy, LUT-reuse-aware placement shared by both layers."""
+    """Flat-stream placement shared by both chip layers.
 
-    def __init__(self, macros: int, iteration_cycles: int, refill_cycles: int) -> None:
+    The default ``lut-aware`` policy is finish-time-greedy and
+    LUT-residency-aware; ``round-robin`` ignores both and cycles through
+    the macros in index order (the baseline the DSE sweeps race against).
+    """
+
+    def __init__(
+        self,
+        macros: int,
+        iteration_cycles: int,
+        refill_cycles: int,
+        policy: str = "lut-aware",
+    ) -> None:
         if macros <= 0:
             raise ConfigurationError(f"macros must be positive, got {macros}")
+        if policy not in SCHEDULER_POLICIES:
+            raise ConfigurationError(
+                f"unknown scheduler policy {policy!r}; choose from "
+                f"{SCHEDULER_POLICIES}"
+            )
         self.macros = macros
+        self.policy = policy
         self.iteration_cycles = iteration_cycles
         self.refill_cycles = refill_cycles
         self.loads = [0] * macros
         self.jobs = [0] * macros
         self.resident: List[Optional[str]] = [None] * macros
         self.refills = 0
+        self._cursor = 0
 
     def place(self, key: str) -> Tuple[int, bool]:
         """Place one job; returns ``(macro_index, lut_reused)``.
 
-        The job lands where it finishes earliest.  A macro with the matching
-        resident LUT saves the refill cycles, so it wins unless it is
-        already more than one refill ahead of the least-loaded macro; ties
-        break toward the reusing macro, then the lowest index.
+        Under ``lut-aware`` the job lands where it finishes earliest: a
+        macro with the matching resident LUT saves the refill cycles, so it
+        wins unless it is already more than one refill ahead of the
+        least-loaded macro; ties break toward the reusing macro, then the
+        lowest index.  Under ``round-robin`` the job lands on the next
+        macro in index order regardless of residency.
         """
+        if self.policy == "round-robin":
+            macro = self._cursor
+            self._cursor = (self._cursor + 1) % self.macros
+            reused = self.resident[macro] == key
+            cost = self.loads[macro] + self.iteration_cycles
+            if not reused:
+                cost += self.refill_cycles
+            self.loads[macro] = cost
+            self.jobs[macro] += 1
+            self.resident[macro] = key
+            if not reused:
+                self.refills += 1
+            return macro, reused
         best_macro = 0
         best_cost = None
         best_reused = False
@@ -373,13 +414,23 @@ class ChipScheduler:
     """
 
     def __init__(
-        self, macros: int = 4, config: Optional[ModSRAMConfig] = None
+        self,
+        macros: int = 4,
+        config: Optional[ModSRAMConfig] = None,
+        geometry: Optional[MacroGeometry] = None,
+        policy: str = "lut-aware",
     ) -> None:
         if macros <= 0:
             raise ConfigurationError(f"macros must be positive, got {macros}")
+        if policy not in SCHEDULER_POLICIES:
+            raise ConfigurationError(
+                f"unknown scheduler policy {policy!r}; choose from "
+                f"{SCHEDULER_POLICIES}"
+            )
         self.macros = macros
         self.config = config or ModSRAMConfig()
-        self.cost_model = AnalyticalCostModel(self.config)
+        self.policy = policy
+        self.cost_model = AnalyticalCostModel(self.config, geometry)
 
     def schedule(
         self,
@@ -391,6 +442,7 @@ class ChipScheduler:
             self.macros,
             self.cost_model.iteration_cycles(),
             self.cost_model.radix4_refill_cycles(),
+            policy=self.policy,
         )
         count = 0
         for job in jobs:
@@ -418,7 +470,9 @@ class ChipScheduler:
         node never starts before its dependencies complete, so — unlike
         :meth:`schedule`, which assumes a stream of independent jobs — the
         resulting makespan is *valid* for dependent workloads.  For a
-        dependency-free graph the two paths place identically.
+        dependency-free graph the two paths place identically.  Graph
+        dispatch is always LUT-residency-aware; the flat-stream ``policy``
+        does not apply here.
         """
         dispatch = _dispatch_graph(
             graph,
@@ -463,13 +517,21 @@ class Chip:
     """
 
     def __init__(
-        self, macros: int = 4, config: Optional[ModSRAMConfig] = None
+        self,
+        macros: int = 4,
+        config: Optional[ModSRAMConfig] = None,
+        geometry: Optional[MacroGeometry] = None,
     ) -> None:
         if macros <= 0:
             raise ConfigurationError(f"macros must be positive, got {macros}")
-        self.config = config or ModSRAMConfig()
-        self.cost_model = AnalyticalCostModel(self.config)
-        self._macros = [AnalyticalModSRAM(self.config) for _ in range(macros)]
+        base = config or ModSRAMConfig()
+        self._macros = [
+            AnalyticalModSRAM(base, geometry) for _ in range(macros)
+        ]
+        # Executable macros apply the geometry to their config, so the
+        # chip-level view (config, cost model) follows the first macro.
+        self.config = self._macros[0].config
+        self.cost_model = self._macros[0].cost_model
         self._state = _PlacementState(
             macros,
             self.cost_model.iteration_cycles(),

@@ -18,6 +18,8 @@ import pytest
 
 from repro.cluster import run_loadtest
 
+pytestmark = pytest.mark.slow
+
 REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 )

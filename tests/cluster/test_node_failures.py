@@ -15,8 +15,12 @@ from __future__ import annotations
 
 import asyncio
 
+import pytest
+
 from repro.cluster import ClusterClient, LocalFleet, RouterConfig
 from repro.engine import Engine, EngineSpec
+
+pytestmark = pytest.mark.slow
 
 #: A 127-bit Mersenne prime: heavy enough per multiplication that a
 #: batch keeps a node busy while the test kills it (same constant the

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import asyncio
 
+import pytest
+
 from repro.cluster import (
     ClusterClient,
     Router,
@@ -20,6 +22,8 @@ from repro.cluster import (
     run_loadtest,
 )
 from repro.engine import Engine, EngineSpec
+
+pytestmark = pytest.mark.slow
 
 
 def run(coroutine):

@@ -26,6 +26,8 @@ import pytest
 from repro.compiled import CompiledMultiplier, clear_kernel_cache
 from repro.core.algorithms.r4csa_lut import R4CSALutMultiplier
 
+pytestmark = pytest.mark.slow
+
 #: One RNG seed for the whole harness — failures name their case.
 SEED = 0xD1FF
 

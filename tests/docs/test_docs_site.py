@@ -87,6 +87,8 @@ class TestSiteStructure:
             "reference/cluster.md",
             "compiled.md",
             "reference/compiled.md",
+            "dse.md",
+            "reference/dse.md",
         ):
             assert required in pages, f"{required} missing from mkdocs nav"
 
@@ -160,6 +162,7 @@ class TestDocCoverage:
         "repro.workloads",
         "repro.cluster",
         "repro.compiled",
+        "repro.dse",
     )
 
     @pytest.mark.parametrize("module_name", MODULES)

@@ -1,0 +1,94 @@
+"""Pareto-frontier extraction: dominance, accounting, and edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse import DEFAULT_OBJECTIVES, Objective, pareto_frontier
+from repro.errors import ConfigurationError
+
+
+def _point(throughput, energy, area):
+    return {
+        "throughput_mops": throughput,
+        "energy_pj_per_op": energy,
+        "area_mm2": area,
+    }
+
+
+class TestDominance:
+    def test_hand_built_frontier(self):
+        points = [
+            _point(10.0, 100.0, 1.0),  # frontier: fastest
+            _point(5.0, 50.0, 1.0),    # frontier: cheapest energy
+            _point(5.0, 100.0, 1.0),   # dominated by 0, 1 and 4
+            _point(10.0, 100.0, 2.0),  # dominated by 0 (same speed, more area)
+            _point(8.0, 80.0, 0.5),    # frontier: smallest
+        ]
+        frontier = pareto_frontier(points)
+        assert [member.index for member in frontier] == [0, 1, 4]
+        by_index = {member.index: member for member in frontier}
+        assert by_index[0].dominates == 2
+        assert by_index[1].dominates == 1
+        assert by_index[4].dominates == 1
+
+    def test_duplicate_points_both_survive(self):
+        points = [_point(1.0, 1.0, 1.0), _point(1.0, 1.0, 1.0)]
+        frontier = pareto_frontier(points)
+        assert [member.index for member in frontier] == [0, 1]
+        assert all(member.dominates == 0 for member in frontier)
+
+    def test_single_point_is_its_own_frontier(self):
+        frontier = pareto_frontier([_point(1.0, 2.0, 3.0)])
+        assert len(frontier) == 1
+        assert frontier[0].objectives == {
+            "throughput_mops": 1.0,
+            "energy_pj_per_op": 2.0,
+            "area_mm2": 3.0,
+        }
+
+    def test_empty_input_gives_empty_frontier(self):
+        assert pareto_frontier([]) == []
+
+    def test_totally_ordered_points_leave_one_survivor(self):
+        points = [_point(float(i), 10.0 - i, 1.0) for i in range(1, 6)]
+        frontier = pareto_frontier(points)
+        assert [member.index for member in frontier] == [4]
+        assert frontier[0].dominates == 4
+
+
+class TestObjectives:
+    def test_custom_objectives_flip_the_frontier(self):
+        points = [_point(10.0, 100.0, 1.0), _point(1.0, 1.0, 1.0)]
+        slowest = pareto_frontier(
+            points, objectives=(Objective("throughput_mops", maximize=False),)
+        )
+        assert [member.index for member in slowest] == [1]
+
+    def test_oriented_maps_onto_a_larger_is_better_scale(self):
+        assert Objective("x", maximize=True).oriented(2.0) == 2.0
+        assert Objective("x", maximize=False).oriented(2.0) == -2.0
+
+    def test_default_objectives_cover_the_issue_tradeoff(self):
+        oriented = {(o.metric, o.maximize) for o in DEFAULT_OBJECTIVES}
+        assert oriented == {
+            ("throughput_mops", True),
+            ("energy_pj_per_op", False),
+            ("area_mm2", False),
+        }
+
+    def test_missing_metric_names_the_metric_and_point(self):
+        with pytest.raises(ConfigurationError, match="point 1.*'area_mm2'"):
+            pareto_frontier(
+                [_point(1.0, 1.0, 1.0), {"throughput_mops": 1.0, "energy_pj_per_op": 1.0}]
+            )
+
+    def test_non_numeric_metric_is_rejected(self):
+        bad = _point(1.0, 1.0, 1.0)
+        bad["area_mm2"] = "big"
+        with pytest.raises(ConfigurationError, match="area_mm2"):
+            pareto_frontier([bad])
+
+    def test_no_objectives_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="objective"):
+            pareto_frontier([_point(1.0, 1.0, 1.0)], objectives=())

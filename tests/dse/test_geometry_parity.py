@@ -1,0 +1,138 @@
+"""Cross-tier parity at swept geometries (ISSUE 10, satellite 2).
+
+``tests/hdl/test_cosim_parity.py`` races the tiers at the *default*
+geometry for each bitwidth.  The DSE sweeps now construct design points
+at non-default ``rows`` / ``columns``, so this harness replays the same
+differential pattern over a seeded sample of swept geometries: for each
+(bitwidth, rows, columns) case the analytical and cycle-accurate tiers
+(and the elaborated RTL where cheap) must agree field by field on the
+cycle report, and every product must match the big-int oracle.
+
+Cycle counts are geometry-invariant for single-bank radix-4 macros —
+rows only size the memory map and columns the word — which is exactly
+the property the DSE cost model relies on when it banks the closed
+forms.  The fast sample runs in tier-1; the wider sweep (more rows ×
+larger widths, with RTL) is marked ``slow``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.hdl.eventsim import HdlModSRAM
+from repro.modsram.accelerator import ModSRAMAccelerator
+from repro.modsram.analytical import AnalyticalModSRAM
+from repro.modsram.config import ModSRAMConfig
+from repro.modsram.geometry import MacroGeometry
+
+#: One RNG seed for the whole harness — failures name their case.
+SEED = 0xD5E
+
+#: (bitwidth, rows, columns) sampled from the default sweep's axes.
+FAST_GEOMETRIES = (
+    (16, 24, 16),
+    (16, 128, 64),
+    (24, 32, 24),
+    (32, 32, 32),
+    (32, 64, 128),
+    (48, 24, 48),
+)
+
+#: Wider/slower sample: every sweep row count at the bigger widths.
+SLOW_GEOMETRIES = tuple(
+    (bits, rows, columns)
+    for bits in (48, 64)
+    for rows in (24, 32, 64, 128)
+    for columns in (bits, 2 * bits)
+)
+
+#: Random operand pairs per geometry, beyond the degenerate corners.
+PAIRS_PER_CASE = 2
+
+
+def _swept_config(bits: int, rows: int, columns: int) -> ModSRAMConfig:
+    config = ModSRAMConfig().with_bitwidth(bits, columns=columns)
+    return replace(config, rows=rows)
+
+
+def _a_limit(config: ModSRAMConfig, modulus: int) -> int:
+    if config.extend_for_full_range:
+        return modulus
+    return min(modulus, 1 << (2 * config.iterations - 1))
+
+
+def _random_odd_modulus(rng: random.Random, bits: int) -> int:
+    return (1 << (bits - 1)) | rng.getrandbits(bits - 1) | 1
+
+
+def _operands(config, modulus, rng):
+    limit = _a_limit(config, modulus)
+    pairs = [(0, modulus - 1), (limit - 1, modulus - 1)]
+    pairs.extend(
+        (rng.randrange(limit), rng.randrange(modulus))
+        for _ in range(PAIRS_PER_CASE)
+    )
+    return pairs
+
+
+def _assert_geometry_parity(config, modulus, rng, with_hdl):
+    geometry = MacroGeometry.from_config(config)
+    tiers = {
+        "analytical": AnalyticalModSRAM(config, geometry),
+        "cycle": ModSRAMAccelerator(config),
+    }
+    if with_hdl:
+        tiers["hdl"] = HdlModSRAM(config)
+    for a, b in _operands(config, modulus, rng):
+        case = (
+            f"{config.rows}x{config.columns} bw={config.bitwidth} "
+            f"p={modulus:#x} a={a:#x} b={b:#x}"
+        )
+        results = {name: tier.multiply(a, b, modulus) for name, tier in tiers.items()}
+        reference = results["analytical"]
+        assert reference.product == (a * b) % modulus, f"oracle ({case})"
+        for name, result in results.items():
+            assert result.product == reference.product, f"{name} product ({case})"
+            assert (
+                result.report.as_dict() == reference.report.as_dict()
+            ), f"{name} report ({case})"
+
+
+@pytest.mark.parametrize("bits,rows,columns", FAST_GEOMETRIES)
+def test_swept_geometries_fast(bits, rows, columns):
+    """Seeded parity sample across the sweep's rows/columns axes."""
+    rng = random.Random(SEED ^ (bits << 16) ^ (rows << 8) ^ columns)
+    config = _swept_config(bits, rows, columns)
+    # The RTL elaborates per-config; keep it to the cheap widths.
+    _assert_geometry_parity(
+        config, _random_odd_modulus(rng, bits), rng, with_hdl=bits <= 24
+    )
+
+
+def test_wide_columns_change_stats_but_not_cycles():
+    """A wider word must not perturb the cycle schedule."""
+    rng = random.Random(SEED)
+    modulus = _random_odd_modulus(rng, 32)
+    narrow = _swept_config(32, 64, 32)
+    wide = _swept_config(32, 64, 256)
+    a, b = rng.randrange(modulus) >> 1, rng.randrange(modulus)
+    narrow_result = AnalyticalModSRAM(narrow).multiply(a, b, modulus)
+    wide_result = AnalyticalModSRAM(wide).multiply(a, b, modulus)
+    assert narrow_result.report.as_dict() == wide_result.report.as_dict()
+    assert narrow_result.product == wide_result.product == (a * b) % modulus
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bits,rows,columns", SLOW_GEOMETRIES)
+def test_swept_geometries_slow(bits, rows, columns):
+    """The full rows × columns sweep at the expensive widths, with RTL."""
+    rng = random.Random(SEED ^ (bits << 16) ^ (rows << 8) ^ columns)
+    config = _swept_config(bits, rows, columns)
+    for extend in (False, True):
+        variant = replace(config, extend_for_full_range=extend)
+        _assert_geometry_parity(
+            variant, _random_odd_modulus(rng, bits), rng, with_hdl=True
+        )

@@ -31,7 +31,7 @@ class TestExperimentList:
         assert by_name["figure1"]["quick_overrides"] == {"measure": False}
         assert "bitwidth" in by_name["figure6"]["defaults"]
         assert by_name["design-point"]["sweep_axes"] == [
-            "bitwidth", "rows", "technology_nm"
+            "bitwidth", "rows", "columns", "banks", "technology_nm"
         ]
 
 

@@ -38,6 +38,12 @@ ROUND_TRIP_CASES = (
     ("chip-scaling", {"workload": "ntt", "vector_size": 512, "macro_counts": [1, 4]}, False),
     ("serving-throughput", {"backend": "montgomery"}, True),
     ("hdl-cosim", {"bitwidths": [16], "cases": 2}, True),
+    ("dse-point", {}, True),
+    ("dse-point", {"banks": 4, "radix": 8, "scheduler": "round-robin",
+                   "workload": "ntt", "workload_ops": 64}, False),
+    ("dse-point", {"bitwidth": 32, "rows": 32, "fidelity": "cycle",
+                   "workload_ops": 32}, False),
+    ("dse", {"sample": 1, "workload_ops": 64}, False),
 )
 
 

@@ -93,6 +93,7 @@ def test_random_moduli_at_fast_widths(bits):
         _assert_parity(config, _random_odd_modulus(rng, bits), rng)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("bits", SLOW_WIDTHS)
 def test_random_moduli_at_slow_widths(bits):
     """One random modulus per expensive width (paper-mode schedule)."""

@@ -49,6 +49,8 @@ def _synthesize(checker, spec):
         return {}
     if spec is list:
         return []
+    if spec is str:
+        return "x"
     return 1.5  # NUMBER / float leaves
 
 

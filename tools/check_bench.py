@@ -208,6 +208,35 @@ SCHEMAS = {
             "required_events_per_second": NUMBER,
         },
     },
+    "BENCH_dse.json": {
+        "benchmark": Value("dse"),
+        "expansion": {
+            "spec": str,
+            "points": int,
+            "expand_seconds": NUMBER,
+            "points_per_second": NUMBER,
+            "deterministic": Value(True),
+        },
+        "pool": {
+            "workers": int,
+            "cpu_count": int,
+            "cold_seconds": NUMBER,
+            "warm_seconds": NUMBER,
+            "cold_points_per_second": NUMBER,
+            "warm_points_per_second": NUMBER,
+            "cold_cache_hits": int,
+            "warm_cache_hits": int,
+            "warm_speedup": NUMBER,
+            "required_warm_speedup": NUMBER,
+        },
+        "frontier": {
+            "size": int,
+            "dominated": int,
+            "swept_points": int,
+            "objectives": [{"metric": str, "maximize": bool}],
+            "non_empty": Value(True),
+        },
+    },
     "BENCH_compiled.json": {
         "benchmark": Value("compiled"),
         "kernel": {
